@@ -1,0 +1,71 @@
+// Ablation A4 — flow-aggregation granularity vs forwarding state.
+//
+// Paper §IV: wildcard TCAM entries are scarce, so "large-scale future SDN
+// setups may force routing at the level of server aggregations (racks or
+// PODs); Pythia can easily respond ... with an appropriate aggregation
+// policy". This bench quantifies the trade: rules and flow-mod messages
+// versus completion time, for server-pair and rack-pair aggregation, and
+// also reports the criticality-ordering toggle (the paper's differentiator
+// over FlowComb).
+#include <cstdio>
+
+#include "core/allocator.hpp"
+#include "experiments/sweep.hpp"
+#include "workloads/hibench.hpp"
+
+namespace {
+
+struct Arm {
+  const char* name;
+  pythia::core::Aggregation aggregation;
+  bool criticality;
+};
+
+}  // namespace
+
+int main() {
+  using namespace pythia;
+
+  std::printf("=== Ablation A4: aggregation granularity & criticality ===\n");
+  std::printf("(60 GB sort, 1:10 over-subscription, 2-rack testbed)\n\n");
+
+  const auto job =
+      workloads::sort_job(util::Bytes{60LL * 1000 * 1000 * 1000}, 20);
+  const Arm arms[] = {
+      {"server-pair + criticality", core::Aggregation::kServerPair, true},
+      {"server-pair, volume-only FFD", core::Aggregation::kServerPair, false},
+      {"rack-pair wildcard + criticality", core::Aggregation::kRackPair,
+       true},
+  };
+
+  util::Table table({"policy", "completion (s)", "rules", "flow-mods",
+                     "speedup vs ECMP"});
+
+  exp::ScenarioConfig base;
+  base.seed = 2;
+  base.background.oversubscription = 10.0;
+  base.scheduler = exp::SchedulerKind::kEcmp;
+  const double ecmp = exp::run_completion_seconds(base, job);
+  table.add_row({"ECMP (reference)", util::Table::num(ecmp, 1), "0", "0",
+                 "0.0%"});
+
+  for (const Arm& arm : arms) {
+    exp::ScenarioConfig cfg = base;
+    cfg.scheduler = exp::SchedulerKind::kPythia;
+    cfg.pythia.allocator.aggregation = arm.aggregation;
+    cfg.pythia.collector.criticality_aware = arm.criticality;
+    exp::Scenario scenario(cfg);
+    const double secs = scenario.run_job(job).completion_time().seconds();
+    table.add_row({arm.name, util::Table::num(secs, 1),
+                   std::to_string(scenario.controller().rules_installed()),
+                   std::to_string(scenario.controller().flow_mod_messages()),
+                   util::Table::percent(ecmp / secs - 1.0)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nexpected shape: rack wildcards cut rules/flow-mods by an order of "
+      "magnitude while keeping most\nof the speedup (they lose per-pair "
+      "packing precision); criticality ordering matters more under\nheavy "
+      "skew than in this balanced configuration.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation A7 — proportional capacity for skewed reducers.
+//
+// Section II of the paper: "if reducer-0 receives five times more data then
+// ... the flows terminated at reducer-0 should get five times more network
+// capacity". Path placement alone cannot create that ratio on a shared
+// link; weighted max-min sharing (Orchestra-style rate control driven by
+// Pythia's predicted per-reducer volumes) can. This bench compares, under
+// rising skew: ECMP, Pythia (placement only), and Pythia + proportional
+// flow weights — reporting completion time and the spread between the
+// first and last reducer's shuffle completion (the barrier the skewed
+// reducer stretches).
+#include <cstdio>
+
+#include "experiments/scenario.hpp"
+#include "util/table.hpp"
+#include "workloads/hibench.hpp"
+
+namespace {
+
+struct Outcome {
+  double completion_s = 0.0;
+  double shuffle_spread_s = 0.0;  // last minus first reducer shuffle_done
+};
+
+Outcome run(pythia::exp::ScenarioConfig cfg,
+            const pythia::hadoop::JobSpec& job) {
+  pythia::exp::Scenario scenario(cfg);
+  const auto result = scenario.run_job(job);
+  auto first = pythia::util::SimTime::max();
+  auto last = pythia::util::SimTime::zero();
+  for (const auto& r : result.reducers) {
+    first = std::min(first, r.shuffle_done);
+    last = std::max(last, r.shuffle_done);
+  }
+  return Outcome{result.completion_time().seconds(),
+                 (last - first).seconds()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace pythia;
+
+  std::printf("=== Ablation A7: proportional capacity for skewed reducers "
+              "===\n(60 GB sort, 1:10 over-subscription)\n\n");
+
+  util::Table table({"zipf s", "scheduler", "completion (s)",
+                     "shuffle spread (s)"});
+  for (const double skew : {0.5, 1.0, 1.5}) {
+    const auto job = workloads::sort_job(
+        util::Bytes{60LL * 1000 * 1000 * 1000}, 20, skew);
+    for (int arm = 0; arm < 3; ++arm) {
+      exp::ScenarioConfig cfg;
+      cfg.seed = 12;
+      cfg.background.oversubscription = 10.0;
+      std::string name;
+      switch (arm) {
+        case 0:
+          cfg.scheduler = exp::SchedulerKind::kEcmp;
+          name = "ECMP";
+          break;
+        case 1:
+          cfg.scheduler = exp::SchedulerKind::kPythia;
+          name = "Pythia (placement)";
+          break;
+        default:
+          cfg.scheduler = exp::SchedulerKind::kPythia;
+          cfg.pythia.weighted_flows = true;
+          name = "Pythia + proportional rates";
+          break;
+      }
+      const Outcome o = run(cfg, job);
+      table.add_row({util::Table::num(skew, 1), name,
+                     util::Table::num(o.completion_s, 1),
+                     util::Table::num(o.shuffle_spread_s, 1)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nexpected shape: placement-only Pythia already compresses the "
+      "reducer shuffle spread vs ECMP;\nproportional rates add a further "
+      "win where shared links are the contention point (mild skew).\nAt "
+      "extreme skew the hot reducer's own NIC is the bottleneck — no "
+      "weighting can widen a NIC —\nso the arms converge, which is itself "
+      "the interesting boundary of the paper's 5x intuition.\n");
+  return 0;
+}

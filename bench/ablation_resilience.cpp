@@ -1,0 +1,100 @@
+// Ablation A5 — fault tolerance (paper §IV: the routing graph is updated on
+// link/switch failure events).
+//
+// Two drills on a 60 GB sort at 1:10 over-subscription:
+//  (a) an inter-rack cable dies mid-shuffle and comes back a minute later —
+//      completion-time impact per scheduler;
+//  (b) Hadoop-level faults: straggling and failing map attempts — does
+//      Pythia's prediction pipeline tolerate task churn?
+#include <cstdio>
+
+#include "experiments/sweep.hpp"
+#include "workloads/hibench.hpp"
+
+int main() {
+  using namespace pythia;
+  using util::Duration;
+
+  const auto job =
+      workloads::sort_job(util::Bytes{60LL * 1000 * 1000 * 1000}, 20);
+
+  std::printf("=== Ablation A5a: inter-rack cable failure mid-job ===\n\n");
+  {
+    util::Table table({"scheduler", "no failure (s)", "with failure (s)",
+                       "penalty"});
+    for (const auto kind :
+         {exp::SchedulerKind::kEcmp, exp::SchedulerKind::kHedera,
+          exp::SchedulerKind::kPythia}) {
+      exp::ScenarioConfig cfg;
+      cfg.seed = 4;
+      cfg.background.oversubscription = 10.0;
+      cfg.scheduler = kind;
+
+      const double clean = exp::run_completion_seconds(cfg, job);
+
+      exp::Scenario scenario(cfg);
+      const auto& paths = scenario.controller().routing().paths(
+          scenario.servers()[0], scenario.servers()[9]);
+      // Kill the *lightly loaded* cable (the one Pythia depends on) at 10 s —
+      // mid-shuffle for every scheduler — and restore at 50 s.
+      const net::LinkId victim = paths[1].links[1];
+      scenario.simulation().after(Duration::seconds_i(10), [&] {
+        scenario.controller().handle_link_failure(victim);
+      });
+      scenario.simulation().after(Duration::seconds_i(50), [&] {
+        scenario.controller().handle_link_restore(victim);
+      });
+      const double faulty =
+          scenario.run_job(job).completion_time().seconds();
+
+      table.add_row({exp::scheduler_name(kind), util::Table::num(clean, 1),
+                     util::Table::num(faulty, 1),
+                     util::Table::percent(faulty / clean - 1.0)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  std::printf("=== Ablation A5b: Hadoop task faults under Pythia ===\n\n");
+  {
+    util::Table table({"fault profile", "ECMP (s)", "Pythia (s)",
+                       "speedup", "map retries", "stragglers"});
+    struct Profile {
+      const char* name;
+      double fail_p;
+      double straggle_p;
+    };
+    for (const Profile& p : {Profile{"none", 0.0, 0.0},
+                             Profile{"5% failures", 0.05, 0.0},
+                             Profile{"10% stragglers", 0.0, 0.10},
+                             Profile{"both", 0.05, 0.10}}) {
+      exp::ScenarioConfig cfg;
+      cfg.seed = 4;
+      cfg.background.oversubscription = 10.0;
+      cfg.cluster.map_failure_probability = p.fail_p;
+      cfg.cluster.straggler_probability = p.straggle_p;
+
+      cfg.scheduler = exp::SchedulerKind::kEcmp;
+      const double ecmp = exp::run_completion_seconds(cfg, job);
+
+      cfg.scheduler = exp::SchedulerKind::kPythia;
+      exp::Scenario scenario(cfg);
+      const auto result = scenario.run_job(job);
+      const double pythia = result.completion_time().seconds();
+
+      table.add_row({p.name, util::Table::num(ecmp, 1),
+                     util::Table::num(pythia, 1),
+                     util::Table::percent(ecmp / pythia - 1.0),
+                     std::to_string(result.map_retries),
+                     std::to_string(result.stragglers)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  std::printf(
+      "expected shape: losing the clean cable hurts Pythia most (its escape "
+      "path vanishes) but jobs\nalways complete and recover on restore; task "
+      "churn slows everyone while Pythia's relative edge\nsurvives — "
+      "predictions are per-attempt-spill, so retries never poison the "
+      "collector.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 5 — "Prediction promptness/accuracy over time for traffic
+// emanating from a single Hadoop tasktracker server (60 GB integer sort)".
+//
+// Paper methodology: NetFlow probes on every server capture actual shuffle
+// traffic (port 50060) per source server; Pythia's predicted per-server
+// cumulative volume is compared against the measured curve. Paper result:
+// the predicted curve leads the measured one by >= ~9 s, and over-estimates
+// total volume by 3-7% (protocol-overhead estimation at the application
+// layer).
+#include <cstdio>
+
+#include "experiments/scenario.hpp"
+#include "net/netflow.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "viz/timeline_export.hpp"
+#include "workloads/hibench.hpp"
+
+int main() {
+  using namespace pythia;
+
+  std::printf("=== Figure 5: prediction promptness & accuracy ===\n");
+  std::printf("(60 GB integer sort under Pythia, 1:10 background, NetFlow "
+              "probes on the shuffle port)\n\n");
+
+  exp::ScenarioConfig cfg;
+  cfg.seed = 5;
+  cfg.scheduler = exp::SchedulerKind::kPythia;
+  cfg.background.oversubscription = 10.0;
+  cfg.enable_netflow = true;
+
+  exp::Scenario scenario(cfg);
+  scenario.run_job(workloads::integer_sort_60g());
+
+  util::Table table({"server", "predicted", "measured", "over-estimate",
+                     "lead @25%", "lead @50%", "lead @75%"});
+  util::RunningStats lead_stats;
+  util::RunningStats over_stats;
+
+  for (net::NodeId server : scenario.netflow()->observed_sources()) {
+    const auto& predicted =
+        scenario.pythia()->collector().predicted_curve(server);
+    const auto& measured = scenario.netflow()->curve(server);
+    if (predicted.empty() || measured.empty()) continue;
+
+    std::vector<net::VolumePoint> pred;
+    pred.reserve(predicted.size());
+    for (const auto& p : predicted) {
+      pred.push_back(net::VolumePoint{p.at, p.cumulative});
+    }
+    const double total_meas = measured.back().cumulative.as_double();
+    const double total_pred = pred.back().cumulative.as_double();
+
+    double leads[3] = {0, 0, 0};
+    const double quantiles[3] = {0.25, 0.5, 0.75};
+    for (int q = 0; q < 3; ++q) {
+      const double volume = total_meas * quantiles[q];
+      const auto tp = net::curve_time_to_reach(pred, volume);
+      const auto tm = net::curve_time_to_reach(measured, volume);
+      leads[q] = (tm - tp).seconds();
+      lead_stats.add(leads[q]);
+    }
+    const double over = total_pred / total_meas - 1.0;
+    over_stats.add(over);
+
+    table.add_row({std::to_string(server.value()),
+                   util::format_bytes(util::Bytes{
+                       static_cast<std::int64_t>(total_pred)}),
+                   util::format_bytes(util::Bytes{
+                       static_cast<std::int64_t>(total_meas)}),
+                   util::Table::percent(over),
+                   util::Table::seconds(leads[0]),
+                   util::Table::seconds(leads[1]),
+                   util::Table::seconds(leads[2])});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // Export the paper's single-server plot (Server4) for external plotting.
+  const net::NodeId server4 = scenario.servers().at(4);
+  viz::export_prediction_csv(
+      scenario.pythia()->collector().predicted_curve(server4),
+      scenario.netflow()->curve(server4), "fig5_server4.csv");
+
+  std::printf(
+      "\npaper: prediction leads the wire by >= ~9 s (min across the trace) "
+      "and over-estimates volume by 3-7%%.\nmeasured: lead min %.1f s / mean "
+      "%.1f s; over-estimate %.1f%%..%.1f%% (mean %.1f%%).\n"
+      "(server-4 curves written to fig5_server4.csv)\n",
+      lead_stats.min(), lead_stats.mean(), over_stats.min() * 100.0,
+      over_stats.max() * 100.0, over_stats.mean() * 100.0);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Section V-C overhead characterization.
+//
+// The paper reports: per-server instrumentation CPU/IO overhead of 2-5%
+// (a constant monitoring factor plus a spike at each map-task finish for
+// index-file analysis), insignificant memory occupancy, low control-plane
+// traffic on the management network, and a rule-install budget of ~3-5 ms
+// per flow — comfortably inside the >= 9 s prediction lead.
+//
+// This bench reproduces the table two ways:
+//  * accounting from a full Pythia sort run (intents, bytes, rules,
+//    flow-mods, per-job control overhead vs. data volume);
+//  * host-measured microcosts of the hot control-path operations
+//    (index decode+intent emission, collector ingest, allocation).
+#include <chrono>
+#include <cstdio>
+
+#include "experiments/scenario.hpp"
+#include "util/table.hpp"
+#include "workloads/hibench.hpp"
+
+namespace {
+
+/// Wall-clock cost per call of `fn` over `iters` iterations, in microseconds.
+template <typename Fn>
+double measure_us(std::size_t iters, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn(i);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() /
+         static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main() {
+  using namespace pythia;
+
+  std::printf("=== Section V-C: instrumentation & control overhead ===\n\n");
+
+  // --- accounting from a full run ---
+  exp::ScenarioConfig cfg;
+  cfg.seed = 3;
+  cfg.scheduler = exp::SchedulerKind::kPythia;
+  cfg.background.oversubscription = 10.0;
+  exp::Scenario scenario(cfg);
+  const auto job = workloads::sort_job(
+      util::Bytes{60LL * 1000 * 1000 * 1000}, 20);
+  const auto result = scenario.run_job(job);
+
+  const auto& pythia = *scenario.pythia();
+  const auto& ctl = scenario.controller();
+  const double job_seconds = result.completion_time().seconds();
+  const double control_bytes =
+      pythia.instrumentation().control_bytes_sent().as_double();
+
+  util::Table acct({"quantity", "value"});
+  acct.add_row({"job", job.name + " (" + util::format_bytes(job.input) + ")"});
+  acct.add_row({"job completion", util::Table::seconds(job_seconds)});
+  acct.add_row({"map finish (decode) events",
+                std::to_string(pythia.instrumentation().decode_events())});
+  acct.add_row({"intent messages",
+                std::to_string(pythia.instrumentation().intents_emitted())});
+  acct.add_row({"control bytes (mgmt network)",
+                util::format_bytes(util::Bytes{
+                    static_cast<std::int64_t>(control_bytes)})});
+  acct.add_row({"control rate over job",
+                util::format_rate(util::BitsPerSec{
+                    control_bytes * 8.0 / job_seconds})});
+  acct.add_row({"control / shuffle data volume",
+                util::Table::percent(control_bytes /
+                                         result.total_shuffle_bytes()
+                                             .as_double(),
+                                     4)});
+  acct.add_row({"forwarding rules installed",
+                std::to_string(ctl.rules_installed())});
+  acct.add_row({"flow-mod messages", std::to_string(ctl.flow_mod_messages())});
+  acct.add_row({"rule install latency (modelled)",
+                util::format_duration(
+                    ctl.config().rule_install_latency)});
+  std::printf("%s\n", acct.to_string().c_str());
+
+  // --- microcosts of the control path (host wall clock) ---
+  // A fresh small world so the measured operations run in isolation.
+  exp::ScenarioConfig micro_cfg;
+  micro_cfg.scheduler = exp::SchedulerKind::kEcmp;
+  exp::Scenario micro(micro_cfg);
+  core::PythiaSystem psys(micro.simulation(), micro.engine(),
+                          micro.controller());
+
+  const auto servers = micro.servers();
+  const double decode_us = measure_us(20'000, [&](std::size_t i) {
+    hadoop::MapOutputNotice notice;
+    notice.job_serial = 0;
+    notice.map_index = i;
+    notice.server = servers[i % servers.size()];
+    notice.at = micro.simulation().now();
+    notice.per_reducer_payload.assign(20, util::Bytes{3'000'000});
+    psys.on_map_output_ready(notice);
+  });
+  micro.simulation().run();  // drain queued intents
+
+  const double alloc_us = measure_us(20'000, [&](std::size_t i) {
+    psys.allocator().add_predicted_volume(servers[i % 5],
+                                          servers[5 + i % 5],
+                                          util::Bytes{1'000'000});
+  });
+
+  // Extrapolate the paper's "CPU overhead" figure: decode events per second
+  // at full map throughput (80 slots, ~2 s/map -> ~40 events/s) times cost.
+  const double events_per_sec = 40.0;
+  const double cpu_fraction = events_per_sec * decode_us / 1e6;
+
+  util::Table micro_table({"operation", "cost/event"});
+  micro_table.add_row({"index decode + intent emission (20 reducers)",
+                       util::Table::num(decode_us, 2) + " us"});
+  micro_table.add_row({"allocator first-fit placement",
+                       util::Table::num(alloc_us, 2) + " us"});
+  micro_table.add_row({"extrapolated decode CPU at 40 map-finish/s",
+                       util::Table::percent(cpu_fraction, 4)});
+  std::printf("%s", micro_table.to_string().c_str());
+
+  std::printf(
+      "\npaper: 2-5%% CPU/IO overhead per server (constant monitoring factor "
+      "+ decode spikes), negligible\nmemory, control traffic kept off the "
+      "data network; 3-5 ms/flow install budget. The dominant cost in\nthe "
+      "real system is filesystem monitoring, which the simulation does not "
+      "pay; the decode/emit path\nabove is the per-event spike component.\n");
+  return 0;
+}

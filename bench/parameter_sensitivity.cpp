@@ -1,0 +1,105 @@
+// Ablation A6 — prediction-timeliness sensitivity to Hadoop parameters.
+//
+// The paper (Section V-C) conjectures that, because Hadoop bounds the
+// parallel transfers each reducer may run, the gap between a map finishing
+// and its output actually being fetched — the window Pythia's prediction
+// lead lives in — is "not sensitive to Hadoop configuration parameter
+// setup", and announces experiments to confirm it as ongoing work. This
+// bench runs those experiments: sweep mapred.reduce.parallel.copies and the
+// reducer slow-start threshold, and report the prediction lead observed by
+// the Fig. 5 methodology plus the resulting Pythia speedup.
+#include <cstdio>
+
+#include "experiments/scenario.hpp"
+#include "experiments/sweep.hpp"
+#include "net/netflow.hpp"
+#include "util/stats.hpp"
+#include "workloads/hibench.hpp"
+
+namespace {
+
+/// Runs one Pythia job with NetFlow attached; returns (min lead s, speedup).
+std::pair<double, double> measure(pythia::exp::ScenarioConfig cfg,
+                                  const pythia::hadoop::JobSpec& job) {
+  using namespace pythia;
+  cfg.scheduler = exp::SchedulerKind::kEcmp;
+  const double ecmp = exp::run_completion_seconds(cfg, job);
+
+  cfg.scheduler = exp::SchedulerKind::kPythia;
+  cfg.enable_netflow = true;
+  exp::Scenario scenario(cfg);
+  const double pythia_s = scenario.run_job(job).completion_time().seconds();
+
+  util::RunningStats lead;
+  for (net::NodeId server : scenario.netflow()->observed_sources()) {
+    const auto& predicted =
+        scenario.pythia()->collector().predicted_curve(server);
+    const auto& measured = scenario.netflow()->curve(server);
+    if (predicted.empty() || measured.empty()) continue;
+    std::vector<net::VolumePoint> pred;
+    pred.reserve(predicted.size());
+    for (const auto& p : predicted) {
+      pred.push_back(net::VolumePoint{p.at, p.cumulative});
+    }
+    for (const double q : {0.25, 0.5, 0.75}) {
+      const double v = measured.back().cumulative.as_double() * q;
+      const auto tp = net::curve_time_to_reach(pred, v);
+      const auto tm = net::curve_time_to_reach(measured, v);
+      if (tp != util::SimTime::max() && tm != util::SimTime::max()) {
+        lead.add((tm - tp).seconds());
+      }
+    }
+  }
+  return {lead.count() > 0 ? lead.min() : 0.0, ecmp / pythia_s - 1.0};
+}
+
+}  // namespace
+
+int main() {
+  using namespace pythia;
+
+  const auto job =
+      workloads::sort_job(util::Bytes{60LL * 1000 * 1000 * 1000}, 20);
+
+  std::printf(
+      "=== Ablation A6: prediction-lead sensitivity to Hadoop knobs ===\n");
+  std::printf("(the experiment the paper lists as ongoing work)\n\n");
+
+  std::printf("--- mapred.reduce.parallel.copies ---\n");
+  {
+    util::Table table({"parallel copies", "min lead (s)", "speedup"});
+    for (const std::size_t copies : {2UL, 5UL, 10UL, 20UL}) {
+      exp::ScenarioConfig cfg;
+      cfg.seed = 8;
+      cfg.background.oversubscription = 10.0;
+      cfg.cluster.parallel_copies = copies;
+      const auto [lead, speedup] = measure(cfg, job);
+      table.add_row({std::to_string(copies), util::Table::num(lead, 1),
+                     util::Table::percent(speedup)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  std::printf("--- reducer slow-start threshold ---\n");
+  {
+    util::Table table({"slowstart", "min lead (s)", "speedup"});
+    for (const double slowstart : {0.05, 0.25, 0.5, 0.9}) {
+      exp::ScenarioConfig cfg;
+      cfg.seed = 8;
+      cfg.background.oversubscription = 10.0;
+      cfg.cluster.reduce_slowstart = slowstart;
+      const auto [lead, speedup] = measure(cfg, job);
+      table.add_row({util::Table::num(slowstart, 2),
+                     util::Table::num(lead, 1),
+                     util::Table::percent(speedup)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  std::printf(
+      "expected shape (the paper's conjecture): the prediction lead stays "
+      "multi-second across the\nsweeps — it is floored by the completion-"
+      "event polling gap, which no copy/slow-start setting\nremoves — and "
+      "the speedup band survives every configuration.\n");
+  return 0;
+}

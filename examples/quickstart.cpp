@@ -1,0 +1,56 @@
+// Quickstart: run one Hadoop sort job on a 2-rack cluster under ECMP and
+// then under Pythia, and compare completion times.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "experiments/scenario.hpp"
+#include "util/table.hpp"
+#include "viz/gantt.hpp"
+#include "workloads/hibench.hpp"
+
+int main() {
+  using namespace pythia;
+
+  // A 2-rack / 10-server testbed with two inter-rack links, oversubscribed
+  // 1:10 by asymmetric UDP background traffic (as in the paper's setup).
+  exp::ScenarioConfig cfg;
+  cfg.seed = 42;
+  cfg.background.oversubscription = 10.0;
+
+  const hadoop::JobSpec job =
+      workloads::sort_job(util::Bytes{20LL * 1000 * 1000 * 1000}, 10);
+
+  std::printf("Running '%s' (%s input, %zu reducers)...\n\n", job.name.c_str(),
+              util::format_bytes(job.input).c_str(), job.num_reducers);
+
+  util::Table table({"scheduler", "completion", "shuffle tail"});
+  double ecmp_seconds = 0.0;
+  double pythia_seconds = 0.0;
+  for (const auto kind :
+       {exp::SchedulerKind::kEcmp, exp::SchedulerKind::kPythia}) {
+    exp::ScenarioConfig run_cfg = cfg;
+    run_cfg.scheduler = kind;
+    exp::Scenario scenario(run_cfg);
+    const hadoop::JobResult result = scenario.run_job(job);
+    const double seconds = result.completion_time().seconds();
+    if (kind == exp::SchedulerKind::kEcmp) {
+      ecmp_seconds = seconds;
+    } else {
+      pythia_seconds = seconds;
+    }
+    table.add_row({exp::scheduler_name(kind), util::Table::seconds(seconds),
+                   util::Table::seconds(
+                       (result.shuffle_phase_end() - result.map_phase_end())
+                           .seconds())});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  if (pythia_seconds > 0.0) {
+    std::printf("Pythia speedup over ECMP: %.1f%%\n",
+                (ecmp_seconds / pythia_seconds - 1.0) * 100.0);
+  }
+  return 0;
+}

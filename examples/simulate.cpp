@@ -1,0 +1,170 @@
+// simulate — command-line driver for the simulator.
+//
+// Runs one job on a configurable testbed and prints the result; optionally
+// exports the task/fetch timeline as CSV.
+//
+//   ./build/examples/simulate [options]
+//     --workload sort|nutch|wordcount|terasort|pagerank  (default sort)
+//     --input-gb N          job input size             (default 60)
+//     --reducers N          reducer count              (default 20)
+//     --scheduler ecmp|pythia|hedera|flowcomb|oracle|spray (default pythia)
+//     --oversub R           1:R background ratio       (default 10)
+//     --seed S              RNG seed                   (default 1)
+//     --servers-per-rack N  2-rack testbed size        (default 5)
+//     --cables N            parallel inter-rack links  (default 2)
+//     --weighted            Orchestra-style proportional flow rates
+//     --rack-rules          rack-pair wildcard aggregation
+//     --speculation         speculative map execution
+//     --diagram             print the sequence diagram
+//     --csv PATH            export the timeline as CSV
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "experiments/scenario.hpp"
+#include "viz/gantt.hpp"
+#include "viz/timeline_export.hpp"
+#include "workloads/hibench.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workload W] [--input-gb N] [--reducers N] "
+               "[--scheduler S] [--oversub R]\n"
+               "          [--seed S] [--servers-per-rack N] [--cables N] "
+               "[--weighted] [--rack-rules]\n"
+               "          [--speculation] [--diagram] [--csv PATH]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pythia;
+
+  std::string workload = "sort";
+  double input_gb = 60.0;
+  std::size_t reducers = 20;
+  std::string scheduler = "pythia";
+  double oversub = 10.0;
+  std::uint64_t seed = 1;
+  std::size_t servers_per_rack = 5;
+  std::size_t cables = 2;
+  bool weighted = false;
+  bool rack_rules = false;
+  bool speculation = false;
+  bool diagram = false;
+  std::string csv_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      workload = next();
+    } else if (arg == "--input-gb") {
+      input_gb = std::atof(next());
+    } else if (arg == "--reducers") {
+      reducers = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--scheduler") {
+      scheduler = next();
+    } else if (arg == "--oversub") {
+      oversub = std::atof(next());
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--servers-per-rack") {
+      servers_per_rack = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--cables") {
+      cables = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--weighted") {
+      weighted = true;
+    } else if (arg == "--rack-rules") {
+      rack_rules = true;
+    } else if (arg == "--speculation") {
+      speculation = true;
+    } else if (arg == "--diagram") {
+      diagram = true;
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  const util::Bytes input{static_cast<std::int64_t>(input_gb * 1e9)};
+  hadoop::JobSpec job;
+  if (workload == "sort") {
+    job = workloads::sort_job(input, reducers);
+  } else if (workload == "nutch") {
+    job = workloads::nutch_indexing(
+        static_cast<std::size_t>(input.count() / 1600), reducers);
+  } else if (workload == "wordcount") {
+    job = workloads::wordcount(input, reducers);
+  } else if (workload == "terasort") {
+    job = workloads::terasort(input, reducers);
+  } else if (workload == "pagerank") {
+    job = workloads::pagerank_iteration(input, reducers);
+  } else {
+    usage(argv[0]);
+  }
+
+  exp::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.two_rack.servers_per_rack = servers_per_rack;
+  cfg.two_rack.inter_rack_links = cables;
+  cfg.controller.k_paths = cables;
+  cfg.background.oversubscription = oversub;
+  cfg.cluster.speculative_execution = speculation;
+  cfg.pythia.weighted_flows = weighted;
+  if (rack_rules) {
+    cfg.pythia.allocator.aggregation = core::Aggregation::kRackPair;
+  }
+  if (scheduler == "ecmp") {
+    cfg.scheduler = exp::SchedulerKind::kEcmp;
+  } else if (scheduler == "pythia") {
+    cfg.scheduler = exp::SchedulerKind::kPythia;
+  } else if (scheduler == "hedera") {
+    cfg.scheduler = exp::SchedulerKind::kHedera;
+  } else if (scheduler == "flowcomb") {
+    cfg.scheduler = exp::SchedulerKind::kFlowCombLike;
+  } else if (scheduler == "oracle") {
+    cfg.scheduler = exp::SchedulerKind::kStaticOracle;
+  } else if (scheduler == "spray") {
+    cfg.scheduler = exp::SchedulerKind::kPacketSpray;
+  } else {
+    usage(argv[0]);
+  }
+
+  exp::Scenario scenario(cfg);
+  const hadoop::JobResult result = scenario.run_job(job);
+
+  std::printf("%s on %zu servers, %zu inter-rack cable(s), 1:%g background, "
+              "%s scheduler\n",
+              job.name.c_str(), 2 * servers_per_rack, cables, oversub,
+              exp::scheduler_name(cfg.scheduler).c_str());
+  std::printf("completion: %.1f s  (maps %zu, reducers %zu, shuffled %s, "
+              "remote %s)\n",
+              result.completion_time().seconds(), result.maps.size(),
+              result.reducers.size(),
+              util::format_bytes(result.total_shuffle_bytes()).c_str(),
+              util::format_bytes(result.remote_shuffle_bytes()).c_str());
+  if (result.map_retries > 0 || result.stragglers > 0) {
+    std::printf("faults: %zu retries, %zu stragglers\n", result.map_retries,
+                result.stragglers);
+  }
+  std::printf("\n%s", viz::render_phase_summary(result).c_str());
+  if (diagram) {
+    std::printf("\n%s", viz::render_sequence_diagram(result).c_str());
+  }
+  std::printf("\n%s", viz::render_reducer_summary(result).c_str());
+  if (!csv_path.empty()) {
+    viz::export_timeline_csv(result, csv_path);
+    std::printf("\ntimeline written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}

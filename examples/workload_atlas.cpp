@@ -1,0 +1,63 @@
+// Workload atlas: the shuffle-relevant character of every bundled workload —
+// flow counts, flow sizes, skew, compute balance. This is the view that
+// explains why the paper saw different optimization headroom for Nutch
+// (many small flows) versus Sort (fewer large ones).
+//
+//   ./build/examples/workload_atlas
+#include <cstdio>
+
+#include "experiments/scenario.hpp"
+#include "hadoop/partition.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/hibench.hpp"
+
+int main() {
+  using namespace pythia;
+  using util::Bytes;
+
+  const std::vector<hadoop::JobSpec> specs = {
+      workloads::paper_sort(),
+      workloads::paper_nutch(),
+      workloads::wordcount(Bytes{24LL * 1000 * 1000 * 1000}, 12),
+      workloads::terasort(Bytes{24LL * 1000 * 1000 * 1000}, 12),
+      workloads::pagerank_iteration(Bytes{24LL * 1000 * 1000 * 1000}, 12),
+  };
+
+  util::Table table({"workload", "maps", "shuffle", "fetches",
+                     "median fetch", "reducer skew", "shuffle share"});
+  for (const auto& spec : specs) {
+    exp::ScenarioConfig cfg;
+    cfg.seed = 23;
+    cfg.scheduler = exp::SchedulerKind::kEcmp;
+    exp::Scenario scenario(cfg);
+    const auto result = scenario.run_job(spec);
+
+    util::SampleSet fetch_sizes;
+    for (const auto& f : result.fetches) {
+      fetch_sizes.add(f.payload.as_double());
+    }
+    util::SimTime first_fetch = util::SimTime::max();
+    for (const auto& r : result.reducers) {
+      first_fetch = std::min(first_fetch, r.started);
+    }
+    const double share =
+        (result.shuffle_phase_end() - first_fetch).seconds() /
+        result.completion_time().seconds();
+
+    table.add_row({
+        spec.name,
+        std::to_string(result.maps.size()),
+        util::format_bytes(result.total_shuffle_bytes()),
+        std::to_string(result.fetches.size()),
+        util::format_bytes(Bytes{
+            static_cast<std::int64_t>(fetch_sizes.median())}),
+        util::Table::num(hadoop::skew_factor(result.reducer_load_profile()),
+                         2) +
+            "x",
+        util::Table::percent(share),
+    });
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

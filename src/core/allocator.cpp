@@ -1,0 +1,149 @@
+#include "core/allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace pythia::core {
+
+Allocator::Allocator(sdn::Controller& controller, AllocatorConfig cfg)
+    : controller_(&controller),
+      cfg_(cfg),
+      link_outstanding_(controller.topology().link_count(), 0) {}
+
+util::Bytes Allocator::link_outstanding(net::LinkId l) const {
+  return util::Bytes{link_outstanding_[l.value()]};
+}
+
+std::uint64_t Allocator::aggregate_key(net::NodeId src, net::NodeId dst) const {
+  if (cfg_.aggregation == Aggregation::kRackPair) {
+    const auto& topo = controller_->topology();
+    const auto src_rack =
+        static_cast<std::uint32_t>(topo.node(src).rack) & 0x7fffffffu;
+    const auto dst_rack = static_cast<std::uint32_t>(topo.node(dst).rack);
+    // Tag rack keys with the top bit so they can never collide with host
+    // keys if the policy is toggled between calls.
+    return (1ULL << 63) | (static_cast<std::uint64_t>(src_rack) << 32) |
+           dst_rack;
+  }
+  return (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
+}
+
+util::Bytes Allocator::pair_outstanding(net::NodeId src,
+                                        net::NodeId dst) const {
+  const auto it = aggregates_.find(aggregate_key(src, dst));
+  return it == aggregates_.end() ? util::Bytes::zero()
+                                 : util::Bytes{it->second.outstanding};
+}
+
+net::Path Allocator::effective_path(const net::Path& chosen) const {
+  if (cfg_.aggregation == Aggregation::kServerPair) return chosen;
+  assert(chosen.links.size() >= 2);
+  net::Path chain;
+  chain.links.assign(chosen.links.begin() + 1, chosen.links.end() - 1);
+  return chain;
+}
+
+void Allocator::install(net::NodeId src, net::NodeId dst,
+                        const net::Path& chosen) {
+  if (cfg_.aggregation == Aggregation::kServerPair) {
+    controller_->install_path(src, dst, chosen);
+    return;
+  }
+  const auto& topo = controller_->topology();
+  controller_->install_rack_path(topo.node(src).rack, topo.node(dst).rack,
+                                 effective_path(chosen));
+}
+
+double Allocator::drain_time_seconds(const net::Path& path,
+                                     util::Bytes additional) const {
+  // Per-link drain: each link must move its own outstanding predicted bytes
+  // plus the new volume through its background-free headroom; the slowest
+  // link bounds the path.
+  double worst = 0.0;
+  for (net::LinkId l : path.links) {
+    const double cap = controller_->topology().link(l).capacity.bps();
+    const double background =
+        cfg_.load_aware ? controller_->snapshot_background_load(l).bps() : 0.0;
+    const double avail = std::max(cap - background, cfg_.min_available_bps);
+    const double bits =
+        8.0 * (static_cast<double>(link_outstanding_[l.value()]) +
+               additional.as_double());
+    worst = std::max(worst, bits / avail);
+  }
+  return worst;
+}
+
+const net::Path* Allocator::choose_path(net::NodeId src, net::NodeId dst,
+                                        util::Bytes volume) const {
+  const auto& candidates = controller_->routing().paths(src, dst);
+  const net::Path* best = nullptr;
+  double best_drain = std::numeric_limits<double>::infinity();
+  std::int64_t best_packed = std::numeric_limits<std::int64_t>::max();
+  for (const auto& p : candidates) {
+    const double drain = drain_time_seconds(p, volume);
+    // Tie-break by total outstanding volume already packed along the path —
+    // links shared by all candidates (host access links) often dominate the
+    // bottleneck term, and the lighter middle segment is still preferable.
+    std::int64_t packed = 0;
+    for (net::LinkId l : p.links) packed += link_outstanding_[l.value()];
+    if (drain < best_drain - 1e-12 ||
+        (drain < best_drain + 1e-12 && packed < best_packed)) {
+      best_drain = std::min(best_drain, drain);
+      best_packed = packed;
+      best = &p;
+    }
+  }
+  return best;
+}
+
+void Allocator::pack_onto(const net::Path& path, std::int64_t bytes) {
+  for (net::LinkId l : path.links) {
+    link_outstanding_[l.value()] =
+        std::max<std::int64_t>(0, link_outstanding_[l.value()] + bytes);
+  }
+}
+
+void Allocator::add_predicted_volume(net::NodeId src_server,
+                                     net::NodeId dst_server,
+                                     util::Bytes wire_bytes) {
+  assert(wire_bytes >= util::Bytes::zero());
+  Aggregate& agg = aggregates_[aggregate_key(src_server, dst_server)];
+
+  if (!agg.installed || agg.outstanding == 0) {
+    // Fresh (or fully drained) aggregate: (re)allocate against the current
+    // network state, then install the forwarding rule ahead of the flows.
+    const net::Path* chosen = choose_path(src_server, dst_server, wire_bytes);
+    if (chosen == nullptr) {
+      PYTHIA_LOG(kWarn, "pythia")
+          << "no path between server " << src_server.value() << " and "
+          << dst_server.value() << "; aggregate left to ECMP";
+      agg.outstanding += wire_bytes.count();
+      return;
+    }
+    const net::Path packed = effective_path(*chosen);
+    if (agg.installed && !(agg.path == packed)) ++reallocations_;
+    agg.path = packed;
+    agg.installed = true;
+    ++allocations_;
+    install(src_server, dst_server, *chosen);
+  }
+  agg.outstanding += wire_bytes.count();
+  pack_onto(agg.path, wire_bytes.count());
+}
+
+void Allocator::retire_volume(net::NodeId src_server, net::NodeId dst_server,
+                              util::Bytes wire_bytes) {
+  const auto it = aggregates_.find(aggregate_key(src_server, dst_server));
+  if (it == aggregates_.end()) return;  // transfer was never predicted
+  Aggregate& agg = it->second;
+  const std::int64_t retired =
+      std::min<std::int64_t>(agg.outstanding, wire_bytes.count());
+  if (retired <= 0) return;
+  agg.outstanding -= retired;
+  if (agg.installed) pack_onto(agg.path, -retired);
+}
+
+}  // namespace pythia::core

@@ -1,0 +1,128 @@
+#include "core/collector.hpp"
+
+#include <algorithm>
+
+#include "core/allocator.hpp"
+#include "util/log.hpp"
+
+namespace pythia::core {
+
+Collector::Collector(sim::Simulation& sim, Allocator& allocator,
+                     CollectorConfig cfg)
+    : sim_(&sim), allocator_(&allocator), cfg_(cfg) {}
+
+void Collector::ingest(const ShuffleIntent& intent) {
+  ++received_;
+  const ReducerKey key{intent.job_serial, intent.reduce_index};
+  const auto located = reducer_location_.find(key);
+  if (located == reducer_location_.end()) {
+    // Destination unknown until the reducer initializes (paper §III).
+    waiting_[key].push_back(intent);
+    ++held_;
+    return;
+  }
+  enqueue_update(intent.src_server, located->second,
+                 intent.predicted_wire_bytes);
+}
+
+void Collector::reducer_located(std::size_t job_serial,
+                                std::size_t reduce_index,
+                                net::NodeId server) {
+  const ReducerKey key{job_serial, reduce_index};
+  reducer_location_[key] = server;
+  const auto it = waiting_.find(key);
+  if (it == waiting_.end()) return;
+  for (const auto& intent : it->second) {
+    enqueue_update(intent.src_server, server, intent.predicted_wire_bytes);
+  }
+  waiting_.erase(it);
+}
+
+const std::vector<PredictionPoint>& Collector::predicted_curve(
+    net::NodeId server) const {
+  const auto it = curves_.find(server);
+  return it == curves_.end() ? empty_curve_ : it->second;
+}
+
+void Collector::enqueue_update(net::NodeId src, net::NodeId dst,
+                               util::Bytes wire) {
+  if (src == dst) return;  // server-local copy, never touches the network
+  auto& total = predicted_totals_[src];
+  total += wire.count();
+  auto& curve = curves_[src];
+  if (!curve.empty() && curve.back().at == sim_->now()) {
+    curve.back().cumulative = util::Bytes{total};
+  } else {
+    curve.push_back(PredictionPoint{sim_->now(), util::Bytes{total}});
+  }
+  const auto key = std::pair{src.value(), dst.value()};
+  pair_seen_[key] = true;
+  batch_[key] += wire.count();
+  dst_outstanding_[dst] += wire.count();
+  if (!flush_pending_) {
+    flush_pending_ = true;
+    sim_->after(cfg_.batch_window, [this] { flush_batch(); });
+  }
+}
+
+void Collector::flush_batch() {
+  flush_pending_ = false;
+  if (batch_.empty()) return;
+  ++batches_;
+
+  // First-fit decreasing. With criticality on, the primary sort key is the
+  // destination server's total outstanding predicted volume: aggregates
+  // feeding the barrier-critical reducer are packed first and get the best
+  // paths (the criterion the paper adds over FlowComb's volumes-only view).
+  std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>, std::int64_t>>
+      updates(batch_.begin(), batch_.end());
+  batch_.clear();
+  std::sort(updates.begin(), updates.end(), [this](const auto& a,
+                                                   const auto& b) {
+    if (cfg_.criticality_aware) {
+      const auto crit = [this](const auto& u) {
+        const auto it = dst_outstanding_.find(net::NodeId{u.first.second});
+        return it == dst_outstanding_.end() ? std::int64_t{0} : it->second;
+      };
+      const std::int64_t ca = crit(a);
+      const std::int64_t cb = crit(b);
+      if (ca != cb) return ca > cb;
+    }
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (const auto& [pair, bytes] : updates) {
+    allocator_->add_predicted_volume(net::NodeId{pair.first},
+                                     net::NodeId{pair.second},
+                                     util::Bytes{bytes});
+  }
+}
+
+void Collector::fetch_completed(net::NodeId src_server, net::NodeId dst_server,
+                                util::Bytes payload) {
+  if (src_server == dst_server) return;
+  // Retire the wire-volume estimate this fetch contributed when predicted.
+  const util::Bytes wire = retire_model_.predict_wire_bytes(payload);
+  allocator_->retire_volume(src_server, dst_server, wire);
+  auto& dst_total = dst_outstanding_[dst_server];
+  dst_total = std::max<std::int64_t>(0, dst_total - wire.count());
+}
+
+util::Bytes Collector::destination_outstanding(net::NodeId dst) const {
+  const auto it = dst_outstanding_.find(dst);
+  return it == dst_outstanding_.end() ? util::Bytes::zero()
+                                      : util::Bytes{it->second};
+}
+
+util::Bytes Collector::mean_destination_outstanding() const {
+  std::int64_t total = 0;
+  std::int64_t live = 0;
+  for (const auto& [_, bytes] : dst_outstanding_) {
+    if (bytes <= 0) continue;
+    total += bytes;
+    ++live;
+  }
+  return live == 0 ? util::Bytes::zero() : util::Bytes{total / live};
+}
+
+}  // namespace pythia::core

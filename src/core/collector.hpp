@@ -1,0 +1,109 @@
+// Pythia prediction-notification collector (runs beside the controller).
+//
+// Responsibilities from the paper:
+//  * receive per-(map, reducer) shuffle intents from every slave's
+//    instrumentation process;
+//  * hold intents whose reducer has not started yet ("unknown destination")
+//    and complete them from reducer-initialization events;
+//  * aggregate all flows from one mapper server to one reducer server into a
+//    single flow entry that sums constituent sizes (dst TCP ports are
+//    unknowable in advance, so rules must match at server granularity);
+//  * hand batches of aggregate updates to the flow-allocation module,
+//    largest first (first-fit decreasing).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/prediction.hpp"
+#include "sim/simulation.hpp"
+
+namespace pythia::core {
+
+class Allocator;
+
+struct CollectorConfig {
+  /// Aggregation window: intents arriving within it are allocated jointly
+  /// (the paper's heuristic "jointly allocates sets of predicted flows").
+  util::Duration batch_window = util::Duration::millis(100);
+  /// Flow criticality (the paper's differentiator over FlowComb): order
+  /// batch allocation by how loaded the *destination reducer server* is —
+  /// flows feeding the barrier-critical reducer get first pick of paths.
+  /// When false, plain first-fit-decreasing by aggregate volume.
+  bool criticality_aware = true;
+};
+
+class Collector {
+ public:
+  Collector(sim::Simulation& sim, Allocator& allocator,
+            CollectorConfig cfg = {});
+
+  /// Intent from an instrumentation process; dst may be unknown yet.
+  void ingest(const ShuffleIntent& intent);
+
+  /// Reducer-initialization event: resolves pending intents for the reducer.
+  void reducer_located(std::size_t job_serial, std::size_t reduce_index,
+                       net::NodeId server);
+
+  /// A shuffle fetch finished; retires predicted volume so the allocator's
+  /// outstanding-load bookkeeping tracks reality.
+  void fetch_completed(net::NodeId src_server, net::NodeId dst_server,
+                       util::Bytes payload);
+
+  /// Outstanding predicted volume destined to a server (criticality proxy:
+  /// the most-loaded reducer server gates the shuffle barrier).
+  [[nodiscard]] util::Bytes destination_outstanding(net::NodeId dst) const;
+  /// Mean outstanding volume across destinations that currently have any.
+  [[nodiscard]] util::Bytes mean_destination_outstanding() const;
+
+  // --- accounting ---
+  [[nodiscard]] std::uint64_t intents_received() const { return received_; }
+  [[nodiscard]] std::uint64_t intents_held_for_reducer() const {
+    return held_;
+  }
+  [[nodiscard]] std::uint64_t batches_flushed() const { return batches_; }
+  /// Aggregates currently known (src-server, dst-server pairs ever seen).
+  [[nodiscard]] std::size_t aggregate_count() const { return pair_seen_.size(); }
+
+  /// Cumulative predicted wire volume that `server` will source towards
+  /// *other* servers (Fig. 5's predicted curve); points are stamped when the
+  /// destination became known — at ingest for running reducers, at
+  /// reducer-location resolution otherwise.
+  [[nodiscard]] const std::vector<PredictionPoint>& predicted_curve(
+      net::NodeId server) const;
+
+ private:
+  struct ReducerKey {
+    std::size_t job_serial;
+    std::size_t reduce_index;
+    friend auto operator<=>(const ReducerKey&, const ReducerKey&) = default;
+  };
+  void enqueue_update(net::NodeId src, net::NodeId dst, util::Bytes wire);
+  void flush_batch();
+
+  sim::Simulation* sim_;
+  Allocator* allocator_;
+  CollectorConfig cfg_;
+
+  std::map<ReducerKey, net::NodeId> reducer_location_;
+  std::map<ReducerKey, std::vector<ShuffleIntent>> waiting_;
+
+  /// Batched aggregate additions keyed by (src, dst) server pair.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> batch_;
+  bool flush_pending_ = false;
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>, bool> pair_seen_;
+  std::unordered_map<net::NodeId, std::int64_t> dst_outstanding_;
+  std::unordered_map<net::NodeId, std::vector<PredictionPoint>> curves_;
+  std::unordered_map<net::NodeId, std::int64_t> predicted_totals_;
+  std::vector<PredictionPoint> empty_curve_;
+  std::uint64_t received_ = 0;
+  std::uint64_t held_ = 0;
+  std::uint64_t batches_ = 0;
+  ProtocolOverheadModel retire_model_;
+};
+
+}  // namespace pythia::core

@@ -1,0 +1,55 @@
+#include "core/instrumentation.hpp"
+
+#include "core/collector.hpp"
+#include "util/log.hpp"
+
+namespace pythia::core {
+
+Instrumentation::Instrumentation(sim::Simulation& sim, Collector& collector,
+                                 InstrumentationConfig cfg)
+    : sim_(&sim), collector_(&collector), cfg_(cfg) {}
+
+void Instrumentation::on_map_output_ready(
+    const hadoop::MapOutputNotice& notice) {
+  ++decodes_;
+  const util::Duration delivery = cfg_.decode_delay + cfg_.management_latency +
+                                  cfg_.extra_delay;
+  const util::SimTime emit_at = notice.at + delivery;
+
+  std::vector<ShuffleIntent> intents;
+  intents.reserve(notice.per_reducer_payload.size());
+  for (std::size_t r = 0; r < notice.per_reducer_payload.size(); ++r) {
+    ShuffleIntent intent;
+    intent.job_serial = notice.job_serial;
+    intent.map_index = notice.map_index;
+    intent.reduce_index = r;
+    intent.src_server = notice.server;
+    intent.predicted_wire_bytes =
+        cfg_.overhead.predict_wire_bytes(notice.per_reducer_payload[r]);
+    intent.emitted_at = emit_at;
+    intents.push_back(intent);
+  }
+  ++intents_;
+  control_bytes_ +=
+      intent_message_bytes(notice.per_reducer_payload.size());
+
+  sim_->at(emit_at, [this, intents = std::move(intents)] {
+    for (const auto& intent : intents) {
+      collector_->ingest(intent);
+    }
+  });
+}
+
+void Instrumentation::on_reducer_started(std::size_t job_serial,
+                                         std::size_t reduce_index,
+                                         net::NodeId server,
+                                         util::SimTime /*at*/) {
+  // Reducer-initialization events also travel over the management network.
+  control_bytes_ += util::Bytes{32};
+  sim_->after(cfg_.management_latency,
+              [this, job_serial, reduce_index, server] {
+                collector_->reducer_located(job_serial, reduce_index, server);
+              });
+}
+
+}  // namespace pythia::core

@@ -1,0 +1,53 @@
+#include "core/pythia_system.hpp"
+
+#include <algorithm>
+
+namespace pythia::core {
+
+PythiaSystem::PythiaSystem(sim::Simulation& sim,
+                           hadoop::MapReduceEngine& engine,
+                           sdn::Controller& controller, PythiaConfig cfg)
+    : controller_(&controller),
+      cfg_(cfg),
+      allocator_(std::make_unique<Allocator>(controller, cfg.allocator)),
+      collector_(std::make_unique<Collector>(sim, *allocator_,
+                                             cfg.collector)),
+      instrumentation_(std::make_unique<Instrumentation>(
+          sim, *collector_, cfg.instrumentation)) {
+  engine.add_observer(this);
+}
+
+void PythiaSystem::on_map_output_ready(
+    const hadoop::MapOutputNotice& notice) {
+  instrumentation_->on_map_output_ready(notice);
+}
+
+void PythiaSystem::on_reducer_started(std::size_t job_serial,
+                                      std::size_t reduce_index,
+                                      net::NodeId server, util::SimTime at) {
+  instrumentation_->on_reducer_started(job_serial, reduce_index, server, at);
+}
+
+void PythiaSystem::on_fetch_started(std::size_t /*job_serial*/,
+                                    const hadoop::FetchRecord& fetch,
+                                    net::FlowId flow) {
+  if (!cfg_.weighted_flows || !flow.valid() || !fetch.remote) return;
+  // Proportional allocation: a flow feeding a reducer server with k times
+  // the average outstanding volume gets ~k times the bandwidth share.
+  const double mean =
+      collector_->mean_destination_outstanding().as_double();
+  if (mean <= 0.0) return;
+  const double dst =
+      collector_->destination_outstanding(fetch.dst_server).as_double();
+  const double weight =
+      std::clamp(dst / mean, cfg_.min_flow_weight, cfg_.max_flow_weight);
+  controller_->fabric().set_flow_weight(flow, weight);
+}
+
+void PythiaSystem::on_fetch_completed(std::size_t /*job_serial*/,
+                                      const hadoop::FetchRecord& fetch) {
+  collector_->fetch_completed(fetch.src_server, fetch.dst_server,
+                              fetch.payload);
+}
+
+}  // namespace pythia::core

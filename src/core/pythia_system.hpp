@@ -1,0 +1,67 @@
+// Pythia, assembled: instrumentation middleware + collector + allocator,
+// attached to a MapReduce engine and an SDN controller. This is the main
+// user-facing entry point for turning Pythia on over a simulated cluster.
+#pragma once
+
+#include <memory>
+
+#include "core/allocator.hpp"
+#include "core/collector.hpp"
+#include "core/instrumentation.hpp"
+#include "hadoop/engine.hpp"
+#include "sdn/controller.hpp"
+
+namespace pythia::core {
+
+struct PythiaConfig {
+  InstrumentationConfig instrumentation;
+  CollectorConfig collector;
+  AllocatorConfig allocator;
+  /// Orchestra-style proportional bandwidth: weight each shuffle flow by its
+  /// destination server's outstanding predicted volume, so a reducer
+  /// receiving 5x the data gets ~5x the network capacity (the paper's
+  /// Section II intuition, actuated through weighted max-min sharing).
+  bool weighted_flows = false;
+  /// Weight clamp range when weighted_flows is on.
+  double min_flow_weight = 0.25;
+  double max_flow_weight = 8.0;
+};
+
+class PythiaSystem final : public hadoop::EngineObserver {
+ public:
+  /// Attaches Pythia to `engine` (registers itself as an observer) and
+  /// drives `controller` for rule installation.
+  PythiaSystem(sim::Simulation& sim, hadoop::MapReduceEngine& engine,
+               sdn::Controller& controller, PythiaConfig cfg = {});
+
+  PythiaSystem(const PythiaSystem&) = delete;
+  PythiaSystem& operator=(const PythiaSystem&) = delete;
+
+  [[nodiscard]] Instrumentation& instrumentation() { return *instrumentation_; }
+  [[nodiscard]] Collector& collector() { return *collector_; }
+  [[nodiscard]] Allocator& allocator() { return *allocator_; }
+  [[nodiscard]] const Instrumentation& instrumentation() const {
+    return *instrumentation_;
+  }
+  [[nodiscard]] const Collector& collector() const { return *collector_; }
+  [[nodiscard]] const Allocator& allocator() const { return *allocator_; }
+
+  // EngineObserver (delegating to the middleware components):
+  void on_map_output_ready(const hadoop::MapOutputNotice& notice) override;
+  void on_reducer_started(std::size_t job_serial, std::size_t reduce_index,
+                          net::NodeId server, util::SimTime at) override;
+  void on_fetch_started(std::size_t job_serial,
+                        const hadoop::FetchRecord& fetch,
+                        net::FlowId flow) override;
+  void on_fetch_completed(std::size_t job_serial,
+                          const hadoop::FetchRecord& fetch) override;
+
+ private:
+  sdn::Controller* controller_;
+  PythiaConfig cfg_;
+  std::unique_ptr<Allocator> allocator_;
+  std::unique_ptr<Collector> collector_;
+  std::unique_ptr<Instrumentation> instrumentation_;
+};
+
+}  // namespace pythia::core

@@ -1,0 +1,54 @@
+#include "core/skew_predictor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace pythia::core {
+
+SkewPredictor::SkewPredictor(std::size_t job_serial, std::size_t num_maps,
+                             std::size_t num_reducers)
+    : job_serial_(job_serial),
+      num_maps_(num_maps),
+      per_reducer_bytes_(num_reducers, 0.0) {
+  assert(num_maps > 0);
+  assert(num_reducers > 0);
+}
+
+void SkewPredictor::ingest(const ShuffleIntent& intent) {
+  if (intent.job_serial != job_serial_) return;
+  if (intent.reduce_index >= per_reducer_bytes_.size()) return;
+  per_reducer_bytes_[intent.reduce_index] +=
+      intent.predicted_wire_bytes.as_double();
+  if (!seen_maps_.contains(intent.map_index)) {
+    seen_maps_[intent.map_index] = true;
+    ++maps_seen_;
+  }
+}
+
+SkewEstimate SkewPredictor::estimate() const {
+  SkewEstimate out;
+  out.predicted_final_bytes.resize(per_reducer_bytes_.size(), 0.0);
+  if (maps_seen_ == 0) return out;
+
+  const double scale =
+      static_cast<double>(num_maps_) / static_cast<double>(maps_seen_);
+  for (std::size_t r = 0; r < per_reducer_bytes_.size(); ++r) {
+    out.predicted_final_bytes[r] = per_reducer_bytes_[r] * scale;
+  }
+  const double total = std::accumulate(out.predicted_final_bytes.begin(),
+                                       out.predicted_final_bytes.end(), 0.0);
+  const double mean =
+      total / static_cast<double>(out.predicted_final_bytes.size());
+  const auto hottest =
+      std::max_element(out.predicted_final_bytes.begin(),
+                       out.predicted_final_bytes.end());
+  out.hottest_reducer = static_cast<std::size_t>(
+      hottest - out.predicted_final_bytes.begin());
+  out.skew_factor = mean > 0.0 ? *hottest / mean : 1.0;
+  out.maps_observed_fraction =
+      static_cast<double>(maps_seen_) / static_cast<double>(num_maps_);
+  return out;
+}
+
+}  // namespace pythia::core

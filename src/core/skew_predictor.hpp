@@ -1,0 +1,58 @@
+// Early reducer-skew prediction from shuffle intents.
+//
+// The paper (Section V-C and the conclusions) points out that the prediction
+// middleware has standalone value "in multiple other runtime optimizations
+// of the Hadoop infrastructure beyond network scheduling, e.g. storage or
+// early skew prediction". This component materializes that: it consumes the
+// same per-(map, reducer) intents and, after only a prefix of maps has
+// finished, extrapolates each reducer's final shuffle volume — early enough
+// for a skew-mitigation system (repartitioning, reducer migration, storage
+// placement) to act.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/prediction.hpp"
+
+namespace pythia::core {
+
+struct SkewEstimate {
+  /// Extrapolated final volume per reducer index.
+  std::vector<double> predicted_final_bytes;
+  /// max/mean of the prediction — the job's skew factor.
+  double skew_factor = 1.0;
+  /// Index of the predicted hottest reducer.
+  std::size_t hottest_reducer = 0;
+  /// Fraction of maps observed when the estimate was made.
+  double maps_observed_fraction = 0.0;
+};
+
+/// Per-job accumulator of intents; not tied to the network path at all.
+class SkewPredictor {
+ public:
+  SkewPredictor(std::size_t job_serial, std::size_t num_maps,
+                std::size_t num_reducers);
+
+  /// Feed an intent (same stream the collector sees). Intents for other
+  /// jobs are ignored.
+  void ingest(const ShuffleIntent& intent);
+
+  [[nodiscard]] std::size_t maps_observed() const { return maps_seen_; }
+  [[nodiscard]] bool has_estimate() const { return maps_seen_ > 0; }
+
+  /// Linear extrapolation: per-reducer running totals scaled by
+  /// total_maps / maps_observed. Mapper-to-mapper jitter averages out, so
+  /// accuracy tightens quickly with the observed prefix.
+  [[nodiscard]] SkewEstimate estimate() const;
+
+ private:
+  std::size_t job_serial_;
+  std::size_t num_maps_;
+  std::vector<double> per_reducer_bytes_;
+  std::unordered_map<std::size_t, bool> seen_maps_;
+  std::size_t maps_seen_ = 0;
+};
+
+}  // namespace pythia::core

@@ -1,0 +1,45 @@
+#include "experiments/metrics.hpp"
+
+#include <algorithm>
+
+namespace pythia::exp {
+
+ShuffleMetrics compute_shuffle_metrics(const hadoop::JobResult& result) {
+  ShuffleMetrics m;
+
+  util::SimTime first_fetch = util::SimTime::max();
+  util::SimTime last_done = util::SimTime::zero();
+  std::int64_t remote_bytes = 0;
+  for (const auto& f : result.fetches) {
+    m.queueing_seconds.add(f.queueing().seconds());
+    m.transfer_seconds.add(f.transfer().seconds());
+    if (f.remote && f.transfer().seconds() > 0.0) {
+      m.goodput_bps.add(f.payload.as_double() * 8.0 /
+                        f.transfer().seconds());
+      remote_bytes += f.payload.count();
+    }
+    first_fetch = std::min(first_fetch, f.started);
+  }
+
+  util::SimTime first_shuffle_done = util::SimTime::max();
+  for (const auto& r : result.reducers) {
+    m.reducer_shuffle_done_seconds.add(
+        (r.shuffle_done - result.submitted).seconds());
+    first_shuffle_done = std::min(first_shuffle_done, r.shuffle_done);
+    last_done = std::max(last_done, r.shuffle_done);
+  }
+  if (!result.reducers.empty()) {
+    m.shuffle_spread_seconds = (last_done - first_shuffle_done).seconds();
+  }
+  m.reducer_volume_fairness =
+      util::jain_fairness(result.reducer_load_profile());
+
+  if (first_fetch != util::SimTime::max() && last_done > first_fetch) {
+    m.aggregate_shuffle_goodput_bps =
+        static_cast<double>(remote_bytes) * 8.0 /
+        (last_done - first_fetch).seconds();
+  }
+  return m;
+}
+
+}  // namespace pythia::exp

@@ -1,0 +1,32 @@
+// Derived job metrics used by benches and analyses: fetch latency
+// distributions, reducer balance, shuffle efficiency.
+#pragma once
+
+#include "hadoop/job.hpp"
+#include "util/stats.hpp"
+
+namespace pythia::exp {
+
+struct ShuffleMetrics {
+  /// Queueing delay from fetch availability to copy-slot acquisition.
+  util::SampleSet queueing_seconds;
+  /// On-wire (or local-copy) transfer durations.
+  util::SampleSet transfer_seconds;
+  /// Remote fetch goodput samples (payload bytes / transfer time).
+  util::SampleSet goodput_bps;
+  /// Per-reducer shuffle completion instants (seconds since submit).
+  util::SampleSet reducer_shuffle_done_seconds;
+  /// Jain's fairness index over per-reducer shuffled volume.
+  double reducer_volume_fairness = 1.0;
+  /// (last - first) reducer shuffle completion: the barrier spread.
+  double shuffle_spread_seconds = 0.0;
+  /// Remote shuffle bytes / wall time between first fetch and shuffle end:
+  /// the aggregate rate the network actually sustained.
+  double aggregate_shuffle_goodput_bps = 0.0;
+};
+
+/// Computes shuffle metrics from a completed job.
+[[nodiscard]] ShuffleMetrics compute_shuffle_metrics(
+    const hadoop::JobResult& result);
+
+}  // namespace pythia::exp

@@ -1,0 +1,81 @@
+#include "experiments/sweep.hpp"
+
+#include "util/stats.hpp"
+
+namespace pythia::exp {
+
+std::vector<OversubPoint> paper_oversubscription_points() {
+  return {{"none", 1.0}, {"1:2", 2.0}, {"1:5", 5.0}, {"1:10", 10.0},
+          {"1:20", 20.0}};
+}
+
+double run_completion_seconds(const ScenarioConfig& cfg,
+                              const hadoop::JobSpec& job) {
+  Scenario scenario(cfg);
+  return scenario.run_job(job).completion_time().seconds();
+}
+
+std::vector<SpeedupRow> run_oversubscription_sweep(
+    const SweepConfig& sweep, const hadoop::JobSpec& job,
+    const std::vector<OversubPoint>& points) {
+  std::vector<SpeedupRow> rows;
+  rows.reserve(points.size());
+  for (const auto& point : points) {
+    util::RunningStats base_stats;
+    util::RunningStats treat_stats;
+    for (std::uint64_t seed : sweep.seeds) {
+      ScenarioConfig cfg = sweep.base;
+      cfg.seed = seed;
+      cfg.background.oversubscription = point.ratio;
+
+      cfg.scheduler = sweep.baseline;
+      base_stats.add(run_completion_seconds(cfg, job));
+
+      cfg.scheduler = sweep.treatment;
+      treat_stats.add(run_completion_seconds(cfg, job));
+    }
+    SpeedupRow row;
+    row.label = point.label;
+    row.baseline_mean_s = base_stats.mean();
+    row.baseline_stddev_s = base_stats.stddev();
+    row.treatment_mean_s = treat_stats.mean();
+    row.treatment_stddev_s = treat_stats.stddev();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+util::Table speedup_table(const std::vector<SpeedupRow>& rows,
+                          const std::string& baseline_name,
+                          const std::string& treatment_name) {
+  util::Table table({"oversubscription", baseline_name + " (s)",
+                     treatment_name + " (s)", "speedup"});
+  for (const auto& row : rows) {
+    table.add_row({row.label, util::Table::num(row.baseline_mean_s, 1),
+                   util::Table::num(row.treatment_mean_s, 1),
+                   util::Table::percent(row.speedup())});
+  }
+  return table;
+}
+
+std::vector<LadderRow> run_scheduler_ladder(
+    const ScenarioConfig& base, const hadoop::JobSpec& job,
+    const std::vector<SchedulerKind>& schedulers,
+    const std::vector<std::uint64_t>& seeds) {
+  std::vector<LadderRow> rows;
+  rows.reserve(schedulers.size());
+  for (SchedulerKind kind : schedulers) {
+    util::RunningStats stats;
+    for (std::uint64_t seed : seeds) {
+      ScenarioConfig cfg = base;
+      cfg.seed = seed;
+      cfg.scheduler = kind;
+      stats.add(run_completion_seconds(cfg, job));
+    }
+    rows.push_back(LadderRow{scheduler_name(kind), stats.mean(),
+                             stats.stddev()});
+  }
+  return rows;
+}
+
+}  // namespace pythia::exp

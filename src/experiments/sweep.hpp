@@ -1,0 +1,72 @@
+// Parameter-sweep harness for the paper's evaluation figures: job completion
+// time vs. network over-subscription ratio, baseline vs. treatment, averaged
+// over seeds ("average of multiple executions" in the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+#include "hadoop/config.hpp"
+#include "util/table.hpp"
+
+namespace pythia::exp {
+
+struct OversubPoint {
+  std::string label;  // "none", "1:2", ...
+  double ratio;       // 1.0, 2.0, ...
+};
+
+/// The ratios of the paper's Figures 3 and 4.
+[[nodiscard]] std::vector<OversubPoint> paper_oversubscription_points();
+
+/// Runs one scenario+job and returns completion time in seconds.
+[[nodiscard]] double run_completion_seconds(const ScenarioConfig& cfg,
+                                            const hadoop::JobSpec& job);
+
+struct SpeedupRow {
+  std::string label;
+  double baseline_mean_s = 0.0;
+  double baseline_stddev_s = 0.0;
+  double treatment_mean_s = 0.0;
+  double treatment_stddev_s = 0.0;
+
+  /// Relative improvement of treatment over baseline (0.46 == 46% faster,
+  /// computed as baseline/treatment - 1, the paper's "speedup").
+  [[nodiscard]] double speedup() const {
+    return treatment_mean_s > 0.0
+               ? baseline_mean_s / treatment_mean_s - 1.0
+               : 0.0;
+  }
+};
+
+struct SweepConfig {
+  ScenarioConfig base;                 // scheduler field is overwritten
+  std::vector<std::uint64_t> seeds{1, 2, 3};
+  SchedulerKind baseline = SchedulerKind::kEcmp;
+  SchedulerKind treatment = SchedulerKind::kPythia;
+};
+
+/// Fig. 3 / Fig. 4 style sweep: for every over-subscription point, run the
+/// job under both schedulers across all seeds.
+[[nodiscard]] std::vector<SpeedupRow> run_oversubscription_sweep(
+    const SweepConfig& sweep, const hadoop::JobSpec& job,
+    const std::vector<OversubPoint>& points);
+
+/// Paper-style output table for a sweep.
+[[nodiscard]] util::Table speedup_table(const std::vector<SpeedupRow>& rows,
+                                        const std::string& baseline_name,
+                                        const std::string& treatment_name);
+
+/// Multi-scheduler comparison at one operating point (ablation A1).
+struct LadderRow {
+  std::string scheduler;
+  double mean_s = 0.0;
+  double stddev_s = 0.0;
+};
+[[nodiscard]] std::vector<LadderRow> run_scheduler_ladder(
+    const ScenarioConfig& base, const hadoop::JobSpec& job,
+    const std::vector<SchedulerKind>& schedulers,
+    const std::vector<std::uint64_t>& seeds);
+
+}  // namespace pythia::exp

@@ -1,0 +1,127 @@
+// Cluster and job configuration for the Hadoop 1.x execution model.
+//
+// Defaults mirror the paper's testbed where known (10 servers in 2 racks,
+// intermediate data held in memory, reducer slow-start at 5% of maps,
+// 5 parallel copies per reducer) and common Hadoop 1.1.2 settings elsewhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hadoop/partition.hpp"
+#include "net/types.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace pythia::hadoop {
+
+struct ClusterConfig {
+  /// Hadoop slave servers (host nodes of the network topology).
+  std::vector<net::NodeId> servers;
+  /// Concurrent map / reduce task slots per tasktracker.
+  std::size_t map_slots_per_server = 8;
+  std::size_t reduce_slots_per_server = 4;
+  /// Fraction of map tasks that must complete before reducers are scheduled
+  /// (mapred.reduce.slowstart.completed.maps; Hadoop default 0.05).
+  double reduce_slowstart = 0.05;
+  /// Concurrent fetches per reducer (mapred.reduce.parallel.copies).
+  std::size_t parallel_copies = 5;
+  /// Rate at which a reducer copies intermediate data that lives on its own
+  /// server (memory-to-memory per the paper's in-memory configuration).
+  util::BitsPerSec local_copy_rate = util::BitsPerSec{16e9};  // ~2 GB/s
+  /// Per-fetch setup cost (HTTP request to the mapper's tasktracker).
+  util::Duration fetch_setup = util::Duration::millis(2);
+  /// Reducers learn about finished map outputs by polling for task
+  /// completion events on the heartbeat path; a finished output becomes
+  /// fetchable only after a uniform delay in [0, this]. This multi-second
+  /// gap is precisely what gives Pythia's file-spill-time prediction its
+  /// lead over the wire (paper Fig. 5).
+  util::Duration completion_event_poll = util::Duration::seconds_i(5);
+  /// Tasktracker heartbeat window: task launches are staggered uniformly
+  /// within it, modelling jobtracker/tasktracker heartbeat scheduling.
+  util::Duration heartbeat_jitter = util::Duration::millis(600);
+
+  // --- fault injection (off by default) ---
+
+  /// Probability that a map attempt runs as a straggler.
+  double straggler_probability = 0.0;
+  /// Duration multiplier applied to straggler attempts.
+  double straggler_slowdown = 5.0;
+  /// Probability that a map attempt dies partway through and is retried
+  /// (Hadoop reschedules failed attempts on the next heartbeat).
+  double map_failure_probability = 0.0;
+  /// Attempt cap per map task (mapred.map.max.attempts); once reached the
+  /// final attempt is forced through so jobs terminate.
+  std::size_t max_task_attempts = 4;
+
+  // --- speculative execution (mapred.map.tasks.speculative.execution) ---
+
+  /// When enabled, a map attempt that outlives the average completed-map
+  /// duration by `speculative_slowdown_threshold` gets a backup attempt on
+  /// another free slot; the first finisher wins and the loser is killed.
+  bool speculative_execution = false;
+  double speculative_slowdown_threshold = 1.8;
+
+  /// MPTCP/packet-spraying transport: each remote fetch is striped equally
+  /// across every equal-cost path instead of riding one hash-selected path.
+  /// An idealized multipath baseline — load-balanced without any
+  /// application knowledge — used by the kPacketSpray scheduler arm.
+  bool multipath_spray = false;
+};
+
+struct JobSpec {
+  std::string name = "job";
+  /// Total job input; the number of map tasks is input/block (rounded up)
+  /// unless `num_maps_override` is set.
+  util::Bytes input = util::Bytes{64 * 1000 * 1000};
+  util::Bytes block = util::Bytes{64 * 1000 * 1000};
+  std::size_t num_maps_override = 0;
+  std::size_t num_reducers = 2;
+
+  /// Intermediate (shuffle) volume per input byte: 1.0 for sort-like jobs,
+  /// <1 for filtering/aggregation, >1 for expansion.
+  double map_output_ratio = 1.0;
+  /// Key-space skew across reducers.
+  PartitionSkew skew;
+  /// Relative stddev of per-mapper output volume (mapper-to-mapper churn).
+  double mapper_output_jitter = 0.05;
+
+  /// Map task cost: fixed overhead plus input processing at `map_rate`.
+  util::Duration map_overhead = util::Duration::millis(800);
+  util::BitsPerSec map_rate = util::BitsPerSec{8e8};  // 100 MB/s of input
+  /// Relative stddev of map task duration.
+  double map_duration_jitter = 0.08;
+
+  /// Reduce task cost: fixed overhead plus merged-input processing.
+  util::Duration reduce_overhead = util::Duration::millis(1200);
+  util::BitsPerSec reduce_rate = util::BitsPerSec{8e8};
+  double reduce_duration_jitter = 0.08;
+
+  /// Output bytes per shuffled byte (reduce-side contraction/expansion).
+  double output_ratio = 1.0;
+  /// HDFS write-back replication factor; 0 disables output modelling (the
+  /// paper's Fig. 1a "distributed file system phases are omitted" view,
+  /// and the default throughout the evaluation reproduction). With r >= 2
+  /// each reducer streams r-1 remote replicas over the data network as
+  /// ordinary (non-shuffle) traffic after its reduce function finishes.
+  std::size_t dfs_replication = 0;
+
+  [[nodiscard]] std::size_t num_maps() const {
+    if (num_maps_override > 0) return num_maps_override;
+    const auto blocks =
+        (input.count() + block.count() - 1) / block.count();
+    return static_cast<std::size_t>(blocks > 0 ? blocks : 1);
+  }
+  [[nodiscard]] util::Bytes input_per_map() const {
+    return util::Bytes{input.count() /
+                       static_cast<std::int64_t>(num_maps())};
+  }
+  /// Expected total shuffle volume (before per-mapper jitter).
+  [[nodiscard]] util::Bytes expected_shuffle_volume() const {
+    return input.scaled(map_output_ratio);
+  }
+};
+
+}  // namespace pythia::hadoop

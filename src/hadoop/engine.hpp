@@ -1,0 +1,189 @@
+// Hadoop MapReduce execution engine (discrete-event model of Hadoop 1.x).
+//
+// Reproduces the mechanics the paper depends on:
+//  * a jobtracker assigning map/reduce tasks to per-server slots over
+//    heartbeat-staggered launches;
+//  * intermediate map output spilled (and its per-reducer index known) at
+//    map-task completion time — the instant Pythia's instrumentation fires;
+//  * reducers launched after the slow-start fraction of maps completes, each
+//    fetching every map's output with a bounded number of parallel copies;
+//  * the shuffle barrier: the reduce function starts only after the last
+//    fetch, so one slow flow delays the whole job.
+//
+// Remote fetches are elastic flows on the network fabric, with their path
+// resolved through the SDN controller (active rule, else ECMP).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hadoop/config.hpp"
+#include "hadoop/job.hpp"
+#include "net/fabric.hpp"
+#include "sdn/controller.hpp"
+#include "sim/simulation.hpp"
+
+namespace pythia::hadoop {
+
+/// What the instrumentation middleware decodes from the spilled index file
+/// the moment a map task completes: per-reducer intermediate output sizes
+/// (application-layer payload bytes) plus the task's network location.
+struct MapOutputNotice {
+  std::size_t job_serial = 0;
+  std::size_t map_index = 0;
+  net::NodeId server;
+  std::vector<util::Bytes> per_reducer_payload;
+  util::SimTime at;
+};
+
+/// Hooks for middleware (Pythia instrumentation) and tooling.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  virtual void on_map_output_ready(const MapOutputNotice& /*notice*/) {}
+  virtual void on_reducer_started(std::size_t /*job_serial*/,
+                                  std::size_t /*reduce_index*/,
+                                  net::NodeId /*server*/,
+                                  util::SimTime /*at*/) {}
+  virtual void on_fetch_started(std::size_t /*job_serial*/,
+                                const FetchRecord& /*fetch*/,
+                                net::FlowId /*flow*/) {}
+  virtual void on_fetch_completed(std::size_t /*job_serial*/,
+                                  const FetchRecord& /*fetch*/) {}
+  virtual void on_job_completed(std::size_t /*job_serial*/,
+                                const JobResult& /*result*/) {}
+};
+
+class MapReduceEngine {
+ public:
+  using JobCallback = std::function<void(const JobResult&)>;
+
+  MapReduceEngine(sim::Simulation& sim, net::Fabric& fabric,
+                  sdn::Controller& controller, ClusterConfig cluster);
+
+  MapReduceEngine(const MapReduceEngine&) = delete;
+  MapReduceEngine& operator=(const MapReduceEngine&) = delete;
+
+  /// Submits a job (FIFO scheduling across jobs); `on_done` fires when the
+  /// last reducer commits. Returns the job's serial number.
+  std::size_t submit(JobSpec spec, JobCallback on_done = {});
+
+  void add_observer(EngineObserver* obs) { observers_.push_back(obs); }
+
+  [[nodiscard]] const ClusterConfig& cluster() const { return cluster_; }
+  [[nodiscard]] std::size_t jobs_submitted() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t jobs_completed() const { return jobs_completed_; }
+
+  /// Reducer weights chosen for a submitted job (for tests/analysis).
+  [[nodiscard]] const std::vector<double>& job_reducer_weights(
+      std::size_t serial) const;
+
+ private:
+  struct PendingFetch {
+    std::size_t map_index;
+    net::NodeId src_server;
+    util::Bytes payload;
+    util::SimTime enqueued;
+  };
+
+  struct ReducerState {
+    std::size_t index = 0;
+    net::NodeId server;          // invalid until scheduled
+    bool scheduled = false;
+    util::SimTime started;
+    std::deque<PendingFetch> pending;
+    std::size_t inflight = 0;
+    std::size_t fetched = 0;
+    util::Bytes shuffled;
+    util::SimTime shuffle_done;
+  };
+
+  struct JobState {
+    std::size_t serial = 0;
+    JobSpec spec;
+    JobCallback on_done;
+    util::SimTime submitted;
+
+    std::vector<double> weights;           // reducer shares
+    std::deque<std::size_t> pending_maps;  // not yet launched
+    std::vector<std::size_t> map_attempts; // per map task
+
+    /// Live attempt bookkeeping per map task (speculation + fault paths).
+    struct MapAttempt {
+      std::uint64_t id = 0;
+      std::size_t server_ordinal = 0;
+      sim::EventHandle next_event;  // the attempt's pending terminal event
+    };
+    struct MapRuntime {
+      bool done = false;
+      bool backup_launched = false;
+      std::vector<MapAttempt> running;
+    };
+    std::vector<MapRuntime> map_runtime;
+    double finished_map_duration_sum = 0.0;  // speculation threshold input
+    std::size_t maps_finished = 0;
+    std::size_t maps_running = 0;
+    std::vector<ReducerState> reducers;
+    std::size_t reducers_scheduled = 0;
+    std::size_t reducers_finished = 0;
+    bool completed = false;
+
+    JobResult result;
+  };
+
+  struct ServerSlots {
+    std::size_t map_free = 0;
+    std::size_t reduce_free = 0;
+  };
+
+  void schedule_pass();
+  void launch_map(JobState& job, std::size_t map_index,
+                  std::size_t server_ordinal);
+  void maybe_speculate(JobState& job, std::size_t map_index);
+  /// Retires every live attempt of a finished map: cancels pending events
+  /// and frees the slots (the jobtracker kills losing attempts).
+  void retire_attempts(JobState& job, std::size_t map_index);
+  void finish_map(JobState& job, std::size_t map_index,
+                  std::size_t server_ordinal, util::SimTime started);
+  void launch_reducer(JobState& job, std::size_t reduce_index,
+                      std::size_t server_ordinal);
+  void pump_reducer(JobState& job, ReducerState& red);
+  void begin_fetch(JobState& job, ReducerState& red, PendingFetch fetch);
+  void finish_fetch(JobState& job, ReducerState& red,
+                    const FetchRecord& record);
+  /// HDFS write-back of the reducer's output (no-op unless dfs_replication
+  /// >= 2), then finish_reducer.
+  void write_output(JobState& job, ReducerState& red,
+                    std::size_t server_ordinal);
+  void finish_reducer(JobState& job, ReducerState& red,
+                      std::size_t server_ordinal);
+  void complete_job(JobState& job);
+
+  [[nodiscard]] util::Duration jittered(util::Duration base, double rel_stddev,
+                                        util::Xoshiro256& rng) const;
+  [[nodiscard]] std::uint16_t next_ephemeral_port();
+
+  sim::Simulation* sim_;
+  net::Fabric* fabric_;
+  sdn::Controller* controller_;
+  ClusterConfig cluster_;
+
+  /// First server ordinal with a free map slot, probing from the cursor;
+  /// SIZE_MAX if the cluster is map-saturated.
+  [[nodiscard]] std::size_t find_free_map_slot();
+
+  std::vector<ServerSlots> slots_;          // parallel to cluster_.servers
+  std::uint64_t attempt_counter_ = 0;
+  std::size_t map_rr_cursor_ = 0;           // round-robin cursors
+  std::size_t reduce_rr_cursor_ = 0;
+  std::uint16_t ephemeral_port_ = 30000;
+
+  std::vector<std::unique_ptr<JobState>> jobs_;
+  std::size_t jobs_completed_ = 0;
+  std::vector<EngineObserver*> observers_;
+};
+
+}  // namespace pythia::hadoop

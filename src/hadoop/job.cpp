@@ -1,0 +1,41 @@
+#include "hadoop/job.hpp"
+
+#include <algorithm>
+
+namespace pythia::hadoop {
+
+util::SimTime JobResult::map_phase_end() const {
+  util::SimTime end = submitted;
+  for (const auto& m : maps) end = std::max(end, m.finished);
+  return end;
+}
+
+util::SimTime JobResult::shuffle_phase_end() const {
+  util::SimTime end = submitted;
+  for (const auto& r : reducers) end = std::max(end, r.shuffle_done);
+  return end;
+}
+
+util::Bytes JobResult::remote_shuffle_bytes() const {
+  util::Bytes total;
+  for (const auto& f : fetches) {
+    if (f.remote) total += f.payload;
+  }
+  return total;
+}
+
+util::Bytes JobResult::total_shuffle_bytes() const {
+  util::Bytes total;
+  for (const auto& f : fetches) total += f.payload;
+  return total;
+}
+
+std::vector<double> JobResult::reducer_load_profile() const {
+  std::vector<double> loads(reducers.size(), 0.0);
+  for (const auto& r : reducers) {
+    loads[r.index] = r.shuffled.as_double();
+  }
+  return loads;
+}
+
+}  // namespace pythia::hadoop

@@ -1,0 +1,89 @@
+// Job execution records: task spans, fetch records, and the JobResult the
+// engine hands back. These are the raw material for the Fig. 1a sequence
+// diagram, the speedup tables and all shuffle statistics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace pythia::hadoop {
+
+struct TaskSpan {
+  std::size_t index = 0;
+  net::NodeId server;
+  util::SimTime started;
+  util::SimTime finished;
+
+  [[nodiscard]] util::Duration duration() const { return finished - started; }
+};
+
+/// One reducer's phase boundaries.
+struct ReducerRecord {
+  std::size_t index = 0;
+  net::NodeId server;
+  util::SimTime started;       // task launch (begins fetching)
+  util::SimTime shuffle_done;  // last map output fetched
+  util::SimTime finished;      // reduce function complete
+  util::Bytes shuffled;        // total bytes fetched (payload)
+
+  [[nodiscard]] util::Duration shuffle_duration() const {
+    return shuffle_done - started;
+  }
+  [[nodiscard]] util::Duration reduce_duration() const {
+    return finished - shuffle_done;
+  }
+};
+
+/// One map-output fetch (a shuffle sub-transfer).
+struct FetchRecord {
+  std::size_t map_index = 0;
+  std::size_t reduce_index = 0;
+  net::NodeId src_server;
+  net::NodeId dst_server;
+  util::Bytes payload;
+  util::SimTime enqueued;   // fetch became possible
+  util::SimTime started;    // copy slot acquired, transfer began
+  util::SimTime completed;
+  bool remote = false;      // crossed the network (vs local copy)
+
+  [[nodiscard]] util::Duration queueing() const { return started - enqueued; }
+  [[nodiscard]] util::Duration transfer() const {
+    return completed - started;
+  }
+};
+
+struct JobResult {
+  std::string name;
+  util::SimTime submitted;
+  util::SimTime completed;
+
+  std::vector<TaskSpan> maps;
+  std::vector<ReducerRecord> reducers;
+  std::vector<FetchRecord> fetches;
+
+  /// Fault-injection accounting: failed map attempts that were retried, and
+  /// attempts that ran as stragglers.
+  std::size_t map_retries = 0;
+  std::size_t stragglers = 0;
+
+  [[nodiscard]] util::Duration completion_time() const {
+    return completed - submitted;
+  }
+  /// Time of the last map finish.
+  [[nodiscard]] util::SimTime map_phase_end() const;
+  /// Time of the last shuffle completion across reducers.
+  [[nodiscard]] util::SimTime shuffle_phase_end() const;
+  /// Total payload bytes that crossed the network (remote fetches only).
+  [[nodiscard]] util::Bytes remote_shuffle_bytes() const;
+  /// Total shuffle payload including server-local copies.
+  [[nodiscard]] util::Bytes total_shuffle_bytes() const;
+  /// Per-reducer shuffled payloads, index-ordered (skew analysis).
+  [[nodiscard]] std::vector<double> reducer_load_profile() const;
+};
+
+}  // namespace pythia::hadoop

@@ -1,0 +1,78 @@
+#include "hadoop/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace pythia::hadoop {
+
+namespace {
+
+void normalize(std::vector<double>& w) {
+  const double sum = std::accumulate(w.begin(), w.end(), 0.0);
+  assert(sum > 0.0);
+  for (auto& x : w) x /= sum;
+}
+
+}  // namespace
+
+std::vector<double> reducer_weights(const PartitionSkew& skew,
+                                    std::size_t num_reducers,
+                                    util::Xoshiro256& rng) {
+  assert(num_reducers > 0);
+  std::vector<double> w(num_reducers, 1.0);
+  switch (skew.kind) {
+    case SkewKind::kUniform:
+      break;
+    case SkewKind::kZipf: {
+      for (std::size_t i = 0; i < num_reducers; ++i) {
+        w[i] = 1.0 / std::pow(static_cast<double>(i + 1),
+                              std::max(0.0, skew.zipf_s));
+      }
+      // Deterministic shuffle so the heavy reducer index varies with seed.
+      for (std::size_t i = num_reducers; i > 1; --i) {
+        const auto j = static_cast<std::size_t>(rng.below(i));
+        std::swap(w[i - 1], w[j]);
+      }
+      break;
+    }
+    case SkewKind::kExplicit: {
+      assert(skew.weights.size() == num_reducers &&
+             "explicit weights must match the reducer count");
+      w = skew.weights;
+      for (double x : w) {
+        assert(x > 0.0 && "explicit weights must be positive");
+        (void)x;
+      }
+      break;
+    }
+  }
+  normalize(w);
+  return w;
+}
+
+std::vector<double> mapper_partition(const std::vector<double>& base_weights,
+                                     double jitter, util::Xoshiro256& rng) {
+  assert(!base_weights.empty());
+  assert(jitter >= 0.0);
+  std::vector<double> w(base_weights.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    // Multiplicative noise, floored so a partition never vanishes entirely.
+    const double factor = std::max(0.05, 1.0 + rng.gaussian(0.0, jitter));
+    w[i] = base_weights[i] * factor;
+  }
+  normalize(w);
+  return w;
+}
+
+double skew_factor(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  const double mean =
+      std::accumulate(weights.begin(), weights.end(), 0.0) /
+      static_cast<double>(weights.size());
+  const double mx = *std::max_element(weights.begin(), weights.end());
+  return mean > 0.0 ? mx / mean : 1.0;
+}
+
+}  // namespace pythia::hadoop

@@ -1,0 +1,57 @@
+// Reducer partition weights and key-space skew models.
+//
+// MapReduce hash-partitions intermediate keys across reducers; real key
+// spaces are rarely uniform (the paper's Fig. 1a sort job has reducer-0
+// receiving 5x the data of reducer-1). PartitionSkew describes how the
+// aggregate key mass splits across reducers; per-mapper realizations add
+// bounded multiplicative noise around those weights.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace pythia::hadoop {
+
+enum class SkewKind {
+  kUniform,   // every reducer receives the same expected share
+  kZipf,      // reducer shares follow a Zipf(s) distribution over rank
+  kExplicit,  // caller-provided weights
+};
+
+struct PartitionSkew {
+  SkewKind kind = SkewKind::kUniform;
+  /// Zipf exponent (kZipf); s = 0 degenerates to uniform.
+  double zipf_s = 0.0;
+  /// Relative weights (kExplicit); need not be normalized.
+  std::vector<double> weights;
+
+  [[nodiscard]] static PartitionSkew uniform() { return {}; }
+  [[nodiscard]] static PartitionSkew zipf(double s) {
+    return PartitionSkew{SkewKind::kZipf, s, {}};
+  }
+  [[nodiscard]] static PartitionSkew explicit_weights(
+      std::vector<double> w) {
+    return PartitionSkew{SkewKind::kExplicit, 0.0, std::move(w)};
+  }
+};
+
+/// Normalized per-reducer shares (sum exactly 1.0, every entry > 0) for a
+/// job with `num_reducers` reducers. For kZipf the heaviest reducer is
+/// shuffled to a deterministic position derived from `rng` so the hot
+/// reducer is not always index 0.
+std::vector<double> reducer_weights(const PartitionSkew& skew,
+                                    std::size_t num_reducers,
+                                    util::Xoshiro256& rng);
+
+/// One mapper's realized per-reducer output split: `base_weights` perturbed
+/// by multiplicative lognormal-ish noise of relative stddev `jitter`, then
+/// renormalized. Models mapper-local key distributions.
+std::vector<double> mapper_partition(const std::vector<double>& base_weights,
+                                     double jitter, util::Xoshiro256& rng);
+
+/// max(weight) / mean(weight): 1.0 means perfectly balanced.
+double skew_factor(const std::vector<double>& weights);
+
+}  // namespace pythia::hadoop

@@ -1,0 +1,48 @@
+// Background (cross) traffic emulating network oversubscription.
+//
+// The paper simulates over-subscription ratios by injecting iperf UDP
+// constant-bit-rate streams onto the inter-rack links. We reproduce that:
+// for a 1:r ratio each inter-rack path carries a CBR load of
+// (1 - 1/r) * capacity * intensity_i, where the per-path intensity profile
+// controls asymmetry (Fig. 1b shows Path-1 at ~95% vs Path-2 at ~7%).
+#pragma once
+
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/routing.hpp"
+
+namespace pythia::net {
+
+struct BackgroundSpec {
+  /// r in "1:r"; 1.0 means a non-oversubscribed network (no background).
+  double oversubscription = 1.0;
+  /// Relative load scale per inter-rack path, in routing-graph path order;
+  /// the last entry repeats for additional paths. The default skews load
+  /// toward the first path (the paper's Fig. 1b shows strongly uneven port
+  /// loads) while leaving the alternates partially loaded too, which
+  /// calibrates end-to-end speedups into the paper's 3-46% band.
+  std::vector<double> path_intensity{1.0, 0.45};
+};
+
+/// Installed background streams; kept so tests/experiments can tear down.
+struct BackgroundHandle {
+  std::vector<CbrId> streams;
+  /// Inter-rack chain (ToR..ToR links) each stream was pinned to.
+  std::vector<std::vector<LinkId>> chains;
+  std::vector<util::BitsPerSec> rates;
+};
+
+/// Installs the background load between the racks of two reference hosts
+/// (one per rack), in both directions. The host access links are excluded:
+/// background lives on the inter-rack segment only, like the testbed.
+BackgroundHandle install_background(Fabric& fabric,
+                                    const RoutingGraph& routing,
+                                    NodeId host_in_rack_a,
+                                    NodeId host_in_rack_b,
+                                    const BackgroundSpec& spec);
+
+/// Removes previously installed background streams.
+void remove_background(Fabric& fabric, const BackgroundHandle& handle);
+
+}  // namespace pythia::net

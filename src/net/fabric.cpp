@@ -1,0 +1,355 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace pythia::net {
+
+namespace {
+/// A flow whose settled remainder drops below this is considered delivered;
+/// sub-byte residue is floating-point noise from rate integration.
+constexpr double kDoneEpsilonBytes = 0.5;
+}  // namespace
+
+Fabric::Fabric(sim::Simulation& sim, const Topology& topo)
+    : sim_(&sim),
+      topo_(&topo),
+      cbr_load_bps_(topo.link_count(), 0.0),
+      link_up_(topo.link_count(), 1),
+      elastic_rate_bps_(topo.link_count(), 0.0),
+      class_rate_bps_(topo.link_count(), {0.0, 0.0, 0.0, 0.0}),
+      last_settle_(sim.now()) {}
+
+FlowId Fabric::start_flow(FlowSpec spec, FlowCompleteFn on_complete) {
+  assert(topo_->validate_path(spec.src, spec.dst, spec.path) &&
+         "flow path must connect src to dst");
+  assert(spec.size >= util::Bytes::zero());
+  const FlowId id{static_cast<std::uint32_t>(flows_.size())};
+  Flow f;
+  f.id = id;
+  f.spec = std::move(spec);
+  f.started = sim_->now();
+  f.remaining_bytes = f.spec.size.as_double();
+  flows_.push_back(std::move(f));
+  ++flows_started_;
+  if (on_complete) callbacks_[id.value()] = std::move(on_complete);
+
+  if (flows_.back().remaining_bytes <= kDoneEpsilonBytes) {
+    // Zero-byte flow: complete immediately (still async via the queue so that
+    // callers never re-enter themselves synchronously).
+    Flow& zf = flows_.back();
+    zf.completed = true;
+    zf.completed_at = sim_->now();
+    ++flows_completed_;
+    sim_->after(util::Duration::zero(), [this, id] {
+      for (auto* obs : observers_) {
+        obs->on_flow_completed(*this, id, sim_->now());
+      }
+      if (auto it = callbacks_.find(id.value()); it != callbacks_.end()) {
+        auto fn = std::move(it->second);
+        callbacks_.erase(it);
+        fn(id, sim_->now());
+      }
+    });
+    return id;
+  }
+
+  active_.push_back(id);
+  settle_and_recompute();
+  for (auto* obs : observers_) {
+    obs->on_flow_started(*this, id, sim_->now());
+  }
+  return id;
+}
+
+void Fabric::set_flow_weight(FlowId id, double weight) {
+  assert(id.value() < flows_.size());
+  assert(weight > 0.0);
+  Flow& f = flows_[id.value()];
+  if (f.completed || f.spec.weight == weight) return;
+  settle();
+  f.spec.weight = weight;
+  recompute_rates();
+  schedule_next_completion();
+}
+
+void Fabric::reroute_flow(FlowId id, std::vector<LinkId> new_path) {
+  assert(id.value() < flows_.size());
+  Flow& f = flows_[id.value()];
+  if (f.completed) return;
+  assert(topo_->validate_path(f.spec.src, f.spec.dst, new_path) &&
+         "reroute path must connect the flow's endpoints");
+  settle();  // account bytes moved on the old path first
+  f.spec.path = std::move(new_path);
+  recompute_rates();
+  schedule_next_completion();
+}
+
+CbrId Fabric::start_cbr(std::vector<LinkId> path, util::BitsPerSec rate) {
+  assert(rate.bps() >= 0.0);
+  const CbrId id{static_cast<std::uint32_t>(cbrs_.size())};
+  for (LinkId l : path) {
+    assert(l.value() < cbr_load_bps_.size());
+    cbr_load_bps_[l.value()] += rate.bps();
+  }
+  cbrs_.push_back(CbrStream{std::move(path), rate.bps(), true});
+  settle_and_recompute();
+  return id;
+}
+
+void Fabric::stop_cbr(CbrId id) {
+  assert(id.value() < cbrs_.size());
+  CbrStream& s = cbrs_[id.value()];
+  assert(s.active && "CBR stream already stopped");
+  for (LinkId l : s.path) {
+    cbr_load_bps_[l.value()] -= s.rate_bps;
+    if (cbr_load_bps_[l.value()] < 0.0) cbr_load_bps_[l.value()] = 0.0;
+  }
+  s.active = false;
+  settle_and_recompute();
+}
+
+util::BitsPerSec Fabric::link_cbr_load(LinkId l) const {
+  return util::BitsPerSec{cbr_load_bps_[l.value()]};
+}
+
+util::BitsPerSec Fabric::link_elastic_rate(LinkId l) const {
+  return util::BitsPerSec{elastic_rate_bps_[l.value()]};
+}
+
+util::BitsPerSec Fabric::link_class_rate(LinkId l, FlowClass cls) const {
+  return util::BitsPerSec{
+      class_rate_bps_[l.value()][static_cast<std::size_t>(cls)]};
+}
+
+double Fabric::link_utilization(LinkId l) const {
+  const double cap = topo_->link(l).capacity.bps();
+  const double used =
+      std::min(cbr_load_bps_[l.value()], cap) + elastic_rate_bps_[l.value()];
+  return std::clamp(used / cap, 0.0, 1.0);
+}
+
+util::BitsPerSec Fabric::link_residual_capacity(LinkId l) const {
+  if (!link_up_[l.value()]) return util::BitsPerSec::zero();
+  const double cap = topo_->link(l).capacity.bps();
+  return util::BitsPerSec{std::max(0.0, cap - cbr_load_bps_[l.value()])};
+}
+
+void Fabric::fail_link(LinkId l) {
+  assert(l.value() < link_up_.size());
+  if (!link_up_[l.value()]) return;
+  link_up_[l.value()] = 0;
+  settle_and_recompute();
+}
+
+void Fabric::restore_link(LinkId l) {
+  assert(l.value() < link_up_.size());
+  if (link_up_[l.value()]) return;
+  link_up_[l.value()] = 1;
+  settle_and_recompute();
+}
+
+std::vector<FlowId> Fabric::flows_crossing(LinkId l) const {
+  std::vector<FlowId> out;
+  for (FlowId id : active_) {
+    const auto& path = flows_[id.value()].spec.path;
+    if (std::find(path.begin(), path.end(), l) != path.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+const Flow& Fabric::flow(FlowId id) const {
+  assert(id.value() < flows_.size());
+  return flows_[id.value()];
+}
+
+bool Fabric::flow_active(FlowId id) const {
+  return id.value() < flows_.size() && !flows_[id.value()].completed;
+}
+
+std::vector<FlowId> Fabric::active_flows() const { return active_; }
+
+void Fabric::settle() {
+  const util::SimTime now = sim_->now();
+  const util::Duration dt = now - last_settle_;
+  if (dt <= util::Duration::zero()) {
+    last_settle_ = now;
+    return;
+  }
+  const double secs = dt.seconds();
+  for (FlowId id : active_) {
+    Flow& f = flows_[id.value()];
+    const double moved =
+        std::min(f.remaining_bytes, f.rate.bytes_per_sec() * secs);
+    if (moved > 0.0) {
+      f.remaining_bytes -= moved;
+      for (auto* obs : observers_) {
+        obs->on_bytes_moved(*this, id,
+                            util::Bytes{static_cast<std::int64_t>(moved + 0.5)},
+                            last_settle_, now);
+      }
+    }
+  }
+  last_settle_ = now;
+}
+
+void Fabric::recompute_rates() {
+  ++recomputes_;
+  std::fill(elastic_rate_bps_.begin(), elastic_rate_bps_.end(), 0.0);
+  for (auto& per_class : class_rate_bps_) per_class.fill(0.0);
+
+  // Residual capacity per link after the non-backing-off CBR load.
+  std::vector<double> residual(topo_->link_count());
+  std::vector<double> unfixed_weight(topo_->link_count(), 0.0);
+  std::vector<std::uint32_t> unfixed_count(topo_->link_count(), 0);
+  for (std::size_t l = 0; l < residual.size(); ++l) {
+    if (!link_up_[l]) {
+      residual[l] = 0.0;
+      continue;
+    }
+    residual[l] = std::max(
+        0.0, topo_->link(LinkId{static_cast<std::uint32_t>(l)}).capacity.bps() -
+                 cbr_load_bps_[l]);
+  }
+  for (FlowId id : active_) {
+    const Flow& f = flows_[id.value()];
+    for (LinkId l : f.spec.path) {
+      unfixed_weight[l.value()] += f.spec.weight;
+      ++unfixed_count[l.value()];
+    }
+  }
+
+  // Weighted progressive filling: repeatedly saturate the link with the
+  // smallest fair share per unit weight, freeze its flows at weight x share,
+  // and subtract them everywhere. Weight 1 on every flow degenerates to the
+  // classic max-min allocation.
+  std::vector<char> fixed(flows_.size(), 0);
+  std::size_t remaining_flows = active_.size();
+  while (remaining_flows > 0) {
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_link = SIZE_MAX;
+    for (std::size_t l = 0; l < residual.size(); ++l) {
+      // The integer count is the authoritative emptiness test: the weight
+      // sum accumulates floating-point residue as flows freeze.
+      if (unfixed_count[l] == 0) continue;
+      const double share = residual[l] / std::max(unfixed_weight[l], 1e-12);
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+      }
+    }
+    assert(best_link != SIZE_MAX);
+    if (best_share < 0.0) best_share = 0.0;
+
+    // Freeze every unfixed flow crossing the bottleneck.
+    for (FlowId id : active_) {
+      Flow& f = flows_[id.value()];
+      if (fixed[id.value()]) continue;
+      const bool crosses =
+          std::any_of(f.spec.path.begin(), f.spec.path.end(),
+                      [best_link](LinkId l) { return l.value() == best_link; });
+      if (!crosses) continue;
+      const double rate = best_share * f.spec.weight;
+      f.rate = util::BitsPerSec{rate};
+      fixed[id.value()] = 1;
+      --remaining_flows;
+      for (LinkId l : f.spec.path) {
+        residual[l.value()] = std::max(0.0, residual[l.value()] - rate);
+        unfixed_weight[l.value()] =
+            std::max(0.0, unfixed_weight[l.value()] - f.spec.weight);
+        assert(unfixed_count[l.value()] > 0);
+        --unfixed_count[l.value()];
+      }
+    }
+  }
+
+  for (FlowId id : active_) {
+    const Flow& f = flows_[id.value()];
+    for (LinkId l : f.spec.path) {
+      elastic_rate_bps_[l.value()] += f.rate.bps();
+      class_rate_bps_[l.value()][static_cast<std::size_t>(f.spec.cls)] +=
+          f.rate.bps();
+    }
+  }
+}
+
+void Fabric::schedule_next_completion() {
+  completion_event_.cancel();
+  if (active_.empty()) return;
+  double soonest_secs = std::numeric_limits<double>::infinity();
+  for (FlowId id : active_) {
+    const Flow& f = flows_[id.value()];
+    if (f.rate.bps() <= 0.0) continue;  // starved; re-examined on next change
+    soonest_secs =
+        std::min(soonest_secs, f.remaining_bytes / f.rate.bytes_per_sec());
+  }
+  if (!std::isfinite(soonest_secs)) return;
+  // Ceil to the next nanosecond so the settled remainder at the event is
+  // never still above the epsilon.
+  auto delay = util::Duration{
+      static_cast<std::int64_t>(std::ceil(soonest_secs * 1e9))};
+  if (delay < util::Duration::zero()) delay = util::Duration::zero();
+  completion_event_ = sim_->after(delay, [this] { on_completion_event(); });
+}
+
+void Fabric::on_completion_event() {
+  settle();
+  // Collect finished flows first: callbacks may start new flows, which
+  // mutates active_ and triggers nested recomputes.
+  std::vector<FlowId> done;
+  for (FlowId id : active_) {
+    if (flows_[id.value()].remaining_bytes <= kDoneEpsilonBytes) {
+      done.push_back(id);
+    }
+  }
+  if (!done.empty()) {
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [&](FlowId id) {
+                                   return std::find(done.begin(), done.end(),
+                                                    id) != done.end();
+                                 }),
+                  active_.end());
+    for (FlowId id : done) {
+      Flow& f = flows_[id.value()];
+      f.completed = true;
+      f.completed_at = sim_->now();
+      f.remaining_bytes = 0.0;
+      f.rate = util::BitsPerSec::zero();
+      ++flows_completed_;
+      bytes_delivered_ += f.spec.size;
+      PYTHIA_LOG(kDebug, "fabric")
+          << "flow " << id.value() << " completed at "
+          << sim_->now().seconds() << "s (" << f.spec.size.count()
+          << " bytes)";
+    }
+  }
+  recompute_rates();
+  schedule_next_completion();
+  // Observer + user callbacks run after the fabric is consistent.
+  for (FlowId id : done) {
+    for (auto* obs : observers_) {
+      obs->on_flow_completed(*this, id, sim_->now());
+    }
+  }
+  for (FlowId id : done) {
+    if (auto it = callbacks_.find(id.value()); it != callbacks_.end()) {
+      auto fn = std::move(it->second);
+      callbacks_.erase(it);
+      fn(id, sim_->now());
+    }
+  }
+}
+
+void Fabric::settle_and_recompute() {
+  settle();
+  recompute_rates();
+  schedule_next_completion();
+}
+
+}  // namespace pythia::net

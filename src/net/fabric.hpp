@@ -1,0 +1,179 @@
+// Fluid (flow-level) network engine with max-min fair bandwidth sharing.
+//
+// Elastic (TCP) flows traverse an explicit link path and share residual link
+// capacity max-min fairly — the standard fluid approximation of long-lived
+// TCP on datacenter paths. CBR (UDP/iperf) streams occupy a fixed rate first
+// and never back off, exactly like the background traffic the paper injects
+// to emulate oversubscription. Rates are recomputed by progressive filling on
+// every flow arrival/departure/CBR change; each flow's remaining volume is
+// settled against simulated time before every recompute, so byte accounting
+// is exact.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "net/types.hpp"
+#include "sim/simulation.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace pythia::net {
+
+class Fabric;
+
+/// Observer of wire-level activity; NetFlow-style probes and SDN apps
+/// implement the hooks they care about (defaults are no-ops).
+class FabricObserver {
+ public:
+  virtual ~FabricObserver() = default;
+  /// A new elastic flow entered the fabric.
+  virtual void on_flow_started(const Fabric& /*fabric*/, FlowId /*flow*/,
+                               util::SimTime /*at*/) {}
+  /// Bytes moved by `flow` in (from, to]; called whenever the fabric settles.
+  virtual void on_bytes_moved(const Fabric& /*fabric*/, FlowId /*flow*/,
+                              util::Bytes /*moved*/, util::SimTime /*from*/,
+                              util::SimTime /*to*/) {}
+  /// Flow fully delivered.
+  virtual void on_flow_completed(const Fabric& /*fabric*/, FlowId /*flow*/,
+                                 util::SimTime /*at*/) {}
+};
+
+struct FlowSpec {
+  NodeId src;
+  NodeId dst;
+  util::Bytes size;
+  std::vector<LinkId> path;
+  FiveTuple tuple;
+  FlowClass cls = FlowClass::kOther;
+  /// Weighted max-min share (1.0 = plain TCP-fair). Values > 1 model rate
+  /// boosting (e.g. more parallel connections or priority queues) for
+  /// Orchestra-style proportional allocation.
+  double weight = 1.0;
+};
+
+struct Flow {
+  FlowId id;
+  FlowSpec spec;
+  util::SimTime started;
+  double remaining_bytes = 0.0;  // settled remaining volume
+  util::BitsPerSec rate;         // current max-min share
+  bool completed = false;
+  util::SimTime completed_at;
+};
+
+using FlowCompleteFn = std::function<void(FlowId, util::SimTime)>;
+
+class Fabric {
+ public:
+  Fabric(sim::Simulation& sim, const Topology& topo);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Starts an elastic flow; `on_complete` fires (via the event queue) when
+  /// the last byte is delivered. The path must connect spec.src to spec.dst.
+  FlowId start_flow(FlowSpec spec, FlowCompleteFn on_complete = {});
+
+  /// Moves an in-flight flow onto a new path (what a higher-priority
+  /// OpenFlow rule installation does to subsequent packets of the flow).
+  /// No-op if the flow already completed. The new path must connect the
+  /// flow's endpoints.
+  void reroute_flow(FlowId id, std::vector<LinkId> new_path);
+
+  /// Adjusts a flow's max-min weight mid-flight; no-op once completed.
+  void set_flow_weight(FlowId id, double weight);
+
+  /// Starts a fixed-rate stream on `path` (UDP-like: holds its rate
+  /// regardless of congestion; clamped by link capacity when computing the
+  /// residual available to elastic flows).
+  CbrId start_cbr(std::vector<LinkId> path, util::BitsPerSec rate);
+  void stop_cbr(CbrId id);
+
+  // --- failure injection ---
+
+  /// Takes a link down: elastic flows crossing it stall at rate zero until
+  /// rerouted or the link is restored; CBR load on it goes nowhere (the
+  /// packets are simply lost). Idempotent.
+  void fail_link(LinkId l);
+  /// Brings a failed link back. Idempotent.
+  void restore_link(LinkId l);
+  [[nodiscard]] bool link_up(LinkId l) const { return link_up_[l.value()]; }
+  /// Active elastic flows whose current path crosses `l`.
+  [[nodiscard]] std::vector<FlowId> flows_crossing(LinkId l) const;
+
+  // --- introspection (the SDN link-load service reads these) ---
+
+  /// Fixed-rate load currently placed on a link (uncapped sum).
+  [[nodiscard]] util::BitsPerSec link_cbr_load(LinkId l) const;
+  /// Sum of elastic flow rates currently crossing a link.
+  [[nodiscard]] util::BitsPerSec link_elastic_rate(LinkId l) const;
+  /// Elastic rate on a link restricted to one traffic class.
+  [[nodiscard]] util::BitsPerSec link_class_rate(LinkId l, FlowClass cls) const;
+  /// (cbr + elastic) / capacity, clamped to [0, 1].
+  [[nodiscard]] double link_utilization(LinkId l) const;
+  /// Capacity minus CBR load, floored at zero — what elastic traffic can get.
+  [[nodiscard]] util::BitsPerSec link_residual_capacity(LinkId l) const;
+
+  [[nodiscard]] const Flow& flow(FlowId id) const;
+  [[nodiscard]] bool flow_active(FlowId id) const;
+  [[nodiscard]] std::size_t active_flow_count() const { return active_.size(); }
+  [[nodiscard]] std::vector<FlowId> active_flows() const;
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] sim::Simulation& simulation() { return *sim_; }
+
+  void add_observer(FabricObserver* obs) { observers_.push_back(obs); }
+
+  // --- cumulative statistics ---
+  [[nodiscard]] std::uint64_t flows_started() const { return flows_started_; }
+  [[nodiscard]] std::uint64_t flows_completed() const {
+    return flows_completed_;
+  }
+  [[nodiscard]] util::Bytes bytes_delivered() const { return bytes_delivered_; }
+  [[nodiscard]] std::uint64_t rate_recomputations() const {
+    return recomputes_;
+  }
+
+  /// Settles all flows to now() and recomputes max-min rates. Called
+  /// automatically on arrivals/departures/CBR changes; public so that probes
+  /// can force an accounting point.
+  void settle_and_recompute();
+
+ private:
+  void settle();
+  void recompute_rates();
+  void schedule_next_completion();
+  void on_completion_event();
+
+  sim::Simulation* sim_;
+  const Topology* topo_;
+
+  std::vector<Flow> flows_;              // indexed by FlowId; completed stay
+  std::vector<FlowId> active_;           // ids of in-flight flows
+  std::vector<double> cbr_load_bps_;     // per link
+  struct CbrStream {
+    std::vector<LinkId> path;
+    double rate_bps;
+    bool active;
+  };
+  std::vector<CbrStream> cbrs_;
+  std::vector<char> link_up_;             // per link
+  std::vector<double> elastic_rate_bps_;  // per link, refreshed on recompute
+  std::vector<std::array<double, 4>> class_rate_bps_;  // per link, per class
+
+  util::SimTime last_settle_ = util::SimTime::zero();
+  sim::EventHandle completion_event_;
+  std::unordered_map<std::uint32_t, FlowCompleteFn> callbacks_;
+  std::vector<FabricObserver*> observers_;
+
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t flows_completed_ = 0;
+  util::Bytes bytes_delivered_;
+  std::uint64_t recomputes_ = 0;
+};
+
+}  // namespace pythia::net

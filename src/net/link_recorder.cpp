@@ -1,0 +1,58 @@
+#include "net/link_recorder.hpp"
+
+#include <algorithm>
+
+namespace pythia::net {
+
+LinkRecorder::LinkRecorder(Fabric& fabric, std::vector<LinkId> links,
+                           util::Duration period)
+    : fabric_(&fabric), links_(std::move(links)), period_(period) {
+  fabric_->add_observer(this);
+}
+
+void LinkRecorder::on_flow_started(const Fabric& /*fabric*/, FlowId /*flow*/,
+                                   util::SimTime /*at*/) {
+  arm();
+}
+
+void LinkRecorder::arm() {
+  if (armed_) return;
+  armed_ = true;
+  fabric_->simulation().after(period_, [this] {
+    armed_ = false;
+    sample();
+    // Keep sampling while traffic is live.
+    if (fabric_->active_flow_count() > 0) arm();
+  });
+}
+
+void LinkRecorder::sample() {
+  const util::SimTime now = fabric_->simulation().now();
+  for (LinkId l : links_) {
+    series_[l].push_back(UtilizationPoint{
+        now, fabric_->link_utilization(l), fabric_->link_elastic_rate(l),
+        fabric_->link_cbr_load(l)});
+  }
+}
+
+const std::vector<UtilizationPoint>& LinkRecorder::series(LinkId l) const {
+  const auto it = series_.find(l);
+  return it == series_.end() ? empty_ : it->second;
+}
+
+double LinkRecorder::mean_utilization(LinkId l) const {
+  const auto& s = series(l);
+  if (s.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : s) sum += p.utilization;
+  return sum / static_cast<double>(s.size());
+}
+
+double LinkRecorder::peak_utilization(LinkId l) const {
+  const auto& s = series(l);
+  double peak = 0.0;
+  for (const auto& p : s) peak = std::max(peak, p.utilization);
+  return peak;
+}
+
+}  // namespace pythia::net

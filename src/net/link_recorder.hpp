@@ -1,0 +1,56 @@
+// Periodic link-utilization recording.
+//
+// Samples selected links' load at a fixed cadence while traffic is active,
+// producing the time series behind the paper's Fig. 1b port-load view and
+// the hot-path/cold-path story of the evaluation. Sampling is event-driven:
+// the recorder re-arms only while flows are in flight, so it never keeps a
+// drained simulation alive.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace pythia::net {
+
+struct UtilizationPoint {
+  util::SimTime at;
+  double utilization = 0.0;  // [0, 1]
+  util::BitsPerSec elastic;
+  util::BitsPerSec cbr;
+};
+
+class LinkRecorder final : public FabricObserver {
+ public:
+  /// Records `links` every `period`; attaches itself to the fabric.
+  LinkRecorder(Fabric& fabric, std::vector<LinkId> links,
+               util::Duration period = util::Duration::millis(500));
+
+  LinkRecorder(const LinkRecorder&) = delete;
+  LinkRecorder& operator=(const LinkRecorder&) = delete;
+
+  void on_flow_started(const Fabric& fabric, FlowId flow,
+                       util::SimTime at) override;
+
+  [[nodiscard]] const std::vector<UtilizationPoint>& series(LinkId l) const;
+  [[nodiscard]] const std::vector<LinkId>& links() const { return links_; }
+
+  /// Mean utilization of a link over its recorded series.
+  [[nodiscard]] double mean_utilization(LinkId l) const;
+  /// Peak utilization of a link over its recorded series.
+  [[nodiscard]] double peak_utilization(LinkId l) const;
+
+ private:
+  void arm();
+  void sample();
+
+  Fabric* fabric_;
+  std::vector<LinkId> links_;
+  util::Duration period_;
+  bool armed_ = false;
+  std::unordered_map<LinkId, std::vector<UtilizationPoint>> series_;
+  std::vector<UtilizationPoint> empty_;
+};
+
+}  // namespace pythia::net

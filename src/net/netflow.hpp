@@ -1,0 +1,69 @@
+// NetFlow-style traffic accounting.
+//
+// The paper validates prediction timeliness/accuracy (Fig. 5) by deploying
+// NetFlow probes on every server, filtering the Hadoop shuffle port (50060),
+// and post-processing traces into cumulative per-source-server volume curves.
+// This probe observes fabric settle points and records exactly that.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/types.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace pythia::net {
+
+/// One point of a cumulative-volume time series.
+struct VolumePoint {
+  util::SimTime at;
+  util::Bytes cumulative;
+};
+
+class NetFlowProbe final : public FabricObserver {
+ public:
+  /// Records flows whose 5-tuple src_port matches `port_filter`
+  /// (default: the Hadoop shuffle port); 0 records everything.
+  explicit NetFlowProbe(std::uint16_t port_filter = kShufflePort)
+      : port_filter_(port_filter) {}
+
+  void on_bytes_moved(const Fabric& fabric, FlowId flow, util::Bytes moved,
+                      util::SimTime from, util::SimTime to) override;
+  void on_flow_completed(const Fabric& fabric, FlowId flow,
+                         util::SimTime at) override;
+
+  /// Total matched bytes sourced by a host so far.
+  [[nodiscard]] util::Bytes sourced_bytes(NodeId host) const;
+
+  /// Cumulative volume curve for traffic sourced at `host` (monotone,
+  /// one point per settle interval in which the host moved bytes).
+  [[nodiscard]] const std::vector<VolumePoint>& curve(NodeId host) const;
+
+  /// Hosts that sourced any matched traffic.
+  [[nodiscard]] std::vector<NodeId> observed_sources() const;
+
+  [[nodiscard]] std::uint64_t flows_observed() const {
+    return flows_observed_;
+  }
+
+ private:
+  std::uint16_t port_filter_;
+  std::unordered_map<NodeId, std::int64_t> sourced_;
+  std::unordered_map<NodeId, std::vector<VolumePoint>> curves_;
+  std::uint64_t flows_observed_ = 0;
+  std::vector<VolumePoint> empty_;
+};
+
+/// Linear interpolation over a cumulative curve; clamps outside the range.
+[[nodiscard]] double curve_value_at(const std::vector<VolumePoint>& curve,
+                                    util::SimTime t);
+
+/// Earliest time at which the curve reaches `volume` bytes; SimTime::max()
+/// if it never does.
+[[nodiscard]] util::SimTime curve_time_to_reach(
+    const std::vector<VolumePoint>& curve, double volume);
+
+}  // namespace pythia::net

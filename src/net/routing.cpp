@@ -1,0 +1,165 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace pythia::net {
+
+namespace {
+
+/// Dijkstra state entry; ordering makes the search deterministic: fewer hops
+/// first, then smaller node id.
+struct QueueEntry {
+  std::size_t dist;
+  NodeId node;
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+    if (a.dist != b.dist) return a.dist > b.dist;
+    return a.node.value() > b.node.value();
+  }
+};
+
+}  // namespace
+
+std::optional<Path> shortest_path(
+    const Topology& topo, NodeId src, NodeId dst,
+    const std::unordered_set<LinkId>& banned_links,
+    const std::unordered_set<NodeId>& banned_nodes) {
+  assert(src.valid() && dst.valid());
+  if (src == dst) return Path{};
+  if (banned_nodes.contains(src) || banned_nodes.contains(dst)) {
+    return std::nullopt;
+  }
+
+  constexpr std::size_t kInf = SIZE_MAX;
+  std::vector<std::size_t> dist(topo.node_count(), kInf);
+  std::vector<LinkId> parent_link(topo.node_count());
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      frontier;
+  dist[src.value()] = 0;
+  frontier.push(QueueEntry{0, src});
+
+  while (!frontier.empty()) {
+    const auto [d, u] = frontier.top();
+    frontier.pop();
+    if (d > dist[u.value()]) continue;
+    if (u == dst) break;
+    for (LinkId l : topo.out_links(u)) {
+      if (banned_links.contains(l)) continue;
+      const Link& link = topo.link(l);
+      if (banned_nodes.contains(link.dst)) continue;
+      const std::size_t nd = d + 1;
+      // Strict < keeps the first (smallest link id, since out_links is in
+      // insertion order and we expand in id order) equal-length parent.
+      if (nd < dist[link.dst.value()]) {
+        dist[link.dst.value()] = nd;
+        parent_link[link.dst.value()] = l;
+        frontier.push(QueueEntry{nd, link.dst});
+      }
+    }
+  }
+
+  if (dist[dst.value()] == kInf) return std::nullopt;
+  Path path;
+  for (NodeId cursor = dst; cursor != src;) {
+    const LinkId l = parent_link[cursor.value()];
+    path.links.push_back(l);
+    cursor = topo.link(l).src;
+  }
+  std::reverse(path.links.begin(), path.links.end());
+  return path;
+}
+
+std::vector<Path> k_shortest_paths(
+    const Topology& topo, NodeId src, NodeId dst, std::size_t k,
+    const std::unordered_set<LinkId>& banned_links) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  auto first = shortest_path(topo, src, dst, banned_links);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  // Candidate pool ordered by (hops, link-id sequence) for determinism.
+  auto path_less = [](const Path& a, const Path& b) {
+    if (a.hops() != b.hops()) return a.hops() < b.hops();
+    return std::lexicographical_compare(
+        a.links.begin(), a.links.end(), b.links.begin(), b.links.end(),
+        [](LinkId x, LinkId y) { return x.value() < y.value(); });
+  };
+  std::vector<Path> candidates;
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    // Spur from every prefix of the previous path.
+    for (std::size_t i = 0; i < prev.links.size(); ++i) {
+      const NodeId spur_node =
+          i == 0 ? src : topo.link(prev.links[i - 1]).dst;
+      std::vector<LinkId> root(prev.links.begin(),
+                               prev.links.begin() + static_cast<long>(i));
+
+      std::unordered_set<LinkId> spur_banned = banned_links;
+      for (const Path& p : result) {
+        if (p.links.size() > i &&
+            std::equal(root.begin(), root.end(), p.links.begin())) {
+          spur_banned.insert(p.links[i]);
+        }
+      }
+      // Ban root nodes (except the spur node) to keep paths loop-free.
+      std::unordered_set<NodeId> banned_nodes;
+      NodeId cursor = src;
+      for (std::size_t j = 0; j < i; ++j) {
+        banned_nodes.insert(cursor);
+        cursor = topo.link(prev.links[j]).dst;
+      }
+
+      auto spur = shortest_path(topo, spur_node, dst, spur_banned,
+                                banned_nodes);
+      if (!spur) continue;
+      Path total;
+      total.links = root;
+      total.links.insert(total.links.end(), spur->links.begin(),
+                         spur->links.end());
+      if (std::find(result.begin(), result.end(), total) != result.end()) {
+        continue;
+      }
+      if (std::find(candidates.begin(), candidates.end(), total) !=
+          candidates.end()) {
+        continue;
+      }
+      candidates.push_back(std::move(total));
+    }
+    if (candidates.empty()) break;
+    auto best = std::min_element(candidates.begin(), candidates.end(),
+                                 path_less);
+    result.push_back(std::move(*best));
+    candidates.erase(best);
+  }
+  return result;
+}
+
+RoutingGraph::RoutingGraph(const Topology& topo, std::size_t k)
+    : topo_(&topo), k_(k) {
+  rebuild(topo);
+}
+
+void RoutingGraph::rebuild(const Topology& topo,
+                           const std::unordered_set<LinkId>& banned_links) {
+  topo_ = &topo;
+  table_.clear();
+  const auto hosts = topo.hosts();
+  for (NodeId a : hosts) {
+    for (NodeId b : hosts) {
+      if (a == b) continue;
+      table_[key(a, b)] = k_shortest_paths(topo, a, b, k_, banned_links);
+    }
+  }
+}
+
+const std::vector<Path>& RoutingGraph::paths(NodeId src_host,
+                                             NodeId dst_host) const {
+  const auto it = table_.find(key(src_host, dst_host));
+  return it == table_.end() ? empty_ : it->second;
+}
+
+}  // namespace pythia::net

@@ -1,0 +1,70 @@
+// Multi-path routing: hop-count Dijkstra, Yen's k-shortest paths, and the
+// RoutingGraph cache the controller keeps per host pair (paper §IV: computed
+// at startup, recomputed only on topology-change events — off the data path).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "net/types.hpp"
+
+namespace pythia::net {
+
+/// A loop-free path as a link chain; endpoints are implied by the links.
+struct Path {
+  std::vector<LinkId> links;
+
+  [[nodiscard]] std::size_t hops() const { return links.size(); }
+  friend bool operator==(const Path&, const Path&) = default;
+};
+
+/// Shortest path by hop count with deterministic tie-breaking (smaller link
+/// ids win). `banned_links` / `banned_nodes` support Yen's spur computation
+/// and failure simulation. Returns nullopt when disconnected.
+std::optional<Path> shortest_path(
+    const Topology& topo, NodeId src, NodeId dst,
+    const std::unordered_set<LinkId>& banned_links = {},
+    const std::unordered_set<NodeId>& banned_nodes = {});
+
+/// Yen's algorithm: up to `k` loop-free shortest paths in nondecreasing
+/// hop-count order (deterministic ordering among equal-length paths).
+/// `banned_links` are excluded entirely (failed links).
+std::vector<Path> k_shortest_paths(
+    const Topology& topo, NodeId src, NodeId dst, std::size_t k,
+    const std::unordered_set<LinkId>& banned_links = {});
+
+/// Precomputed k-shortest paths for every host pair. The SDN topology
+/// service rebuilds it when the physical topology changes (link failure).
+class RoutingGraph {
+ public:
+  RoutingGraph(const Topology& topo, std::size_t k);
+
+  /// Equal-candidate path set for an ordered host pair; non-empty for every
+  /// connected pair. Precondition: both are hosts in this topology.
+  [[nodiscard]] const std::vector<Path>& paths(NodeId src_host,
+                                               NodeId dst_host) const;
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+
+  /// Recomputes everything, excluding `banned_links` (failed links) from
+  /// every path — the controller's topology-update service calls this on
+  /// link-failure/restore events.
+  void rebuild(const Topology& topo,
+               const std::unordered_set<LinkId>& banned_links = {});
+
+ private:
+  [[nodiscard]] static std::uint64_t key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+  }
+  const Topology* topo_;
+  std::size_t k_;
+  std::unordered_map<std::uint64_t, std::vector<Path>> table_;
+  std::vector<Path> empty_;
+};
+
+}  // namespace pythia::net

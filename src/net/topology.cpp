@@ -1,0 +1,136 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+
+namespace pythia::net {
+
+NodeId Topology::add_host(std::string name, int rack) {
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(Node{id, NodeKind::kHost, std::move(name), rack});
+  out_.emplace_back();
+  return id;
+}
+
+NodeId Topology::add_switch(std::string name, int rack) {
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(Node{id, NodeKind::kSwitch, std::move(name), rack});
+  out_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(NodeId src, NodeId dst, util::BitsPerSec capacity) {
+  assert(src.valid() && src.value() < nodes_.size());
+  assert(dst.valid() && dst.value() < nodes_.size());
+  assert(src != dst);
+  assert(capacity.bps() > 0.0);
+  const LinkId id{static_cast<std::uint32_t>(links_.size())};
+  links_.push_back(Link{id, src, dst, capacity});
+  out_[src.value()].push_back(id);
+  return id;
+}
+
+LinkId Topology::add_duplex(NodeId a, NodeId b, util::BitsPerSec capacity) {
+  const LinkId forward = add_link(a, b, capacity);
+  add_link(b, a, capacity);
+  return forward;
+}
+
+std::vector<NodeId> Topology::hosts() const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (n.kind == NodeKind::kHost) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::switches() const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (n.kind == NodeKind::kSwitch) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::optional<LinkId> Topology::find_link(NodeId src, NodeId dst) const {
+  for (LinkId l : out_links(src)) {
+    if (links_[l.value()].dst == dst) return l;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t Topology::address_of(NodeId n) const {
+  const auto& node = nodes_[n.value()];
+  const auto rack = static_cast<std::uint32_t>(node.rack < 0 ? 255 : node.rack);
+  return (10u << 24) | ((rack & 0xffu) << 16) | (n.value() & 0xffffu);
+}
+
+bool Topology::validate_path(NodeId src, NodeId dst,
+                             const std::vector<LinkId>& path) const {
+  if (path.empty()) return src == dst;
+  NodeId cursor = src;
+  for (LinkId l : path) {
+    if (!l.valid() || l.value() >= links_.size()) return false;
+    const Link& link = links_[l.value()];
+    if (link.src != cursor) return false;
+    cursor = link.dst;
+  }
+  return cursor == dst;
+}
+
+Topology make_two_rack(const TwoRackConfig& cfg) {
+  assert(cfg.servers_per_rack > 0);
+  assert(cfg.inter_rack_links > 0);
+  Topology topo;
+  const NodeId tor0 = topo.add_switch("tor-0", 0);
+  const NodeId tor1 = topo.add_switch("tor-1", 1);
+  for (std::size_t r = 0; r < 2; ++r) {
+    const NodeId tor = r == 0 ? tor0 : tor1;
+    for (std::size_t s = 0; s < cfg.servers_per_rack; ++s) {
+      const NodeId host = topo.add_host(
+          "server-" + std::to_string(r * cfg.servers_per_rack + s),
+          static_cast<int>(r));
+      topo.add_duplex(host, tor, cfg.host_link);
+    }
+  }
+  // Each parallel inter-rack cable gets its own pass-through "wire" switch so
+  // that k-shortest-path routing enumerates the cables as distinct paths, the
+  // way an OpenFlow rule selects a distinct ToR egress port.
+  for (std::size_t i = 0; i < cfg.inter_rack_links; ++i) {
+    const NodeId wire = topo.add_switch("wire-" + std::to_string(i));
+    topo.add_duplex(tor0, wire, cfg.inter_rack_capacity);
+    topo.add_duplex(wire, tor1, cfg.inter_rack_capacity);
+  }
+  return topo;
+}
+
+Topology make_leaf_spine(const LeafSpineConfig& cfg) {
+  assert(cfg.racks > 0 && cfg.servers_per_rack > 0 && cfg.spines > 0);
+  Topology topo;
+  std::vector<NodeId> tors;
+  tors.reserve(cfg.racks);
+  for (std::size_t r = 0; r < cfg.racks; ++r) {
+    tors.push_back(topo.add_switch("tor-" + std::to_string(r),
+                                   static_cast<int>(r)));
+  }
+  std::vector<NodeId> spines;
+  spines.reserve(cfg.spines);
+  for (std::size_t s = 0; s < cfg.spines; ++s) {
+    spines.push_back(topo.add_switch("spine-" + std::to_string(s)));
+  }
+  for (std::size_t r = 0; r < cfg.racks; ++r) {
+    for (std::size_t s = 0; s < cfg.servers_per_rack; ++s) {
+      const NodeId host = topo.add_host(
+          "server-" + std::to_string(r * cfg.servers_per_rack + s),
+          static_cast<int>(r));
+      topo.add_duplex(host, tors[r], cfg.host_link);
+    }
+  }
+  for (NodeId tor : tors) {
+    for (NodeId spine : spines) {
+      topo.add_duplex(tor, spine, cfg.uplink);
+    }
+  }
+  return topo;
+}
+
+}  // namespace pythia::net

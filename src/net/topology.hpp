@@ -1,0 +1,99 @@
+// Datacenter topology graph: hosts, switches, directed capacitated links.
+//
+// Links are directed (a duplex cable is two Link records) because shuffle
+// traffic and background load are directional; the paper's Fig. 1b loads are
+// per-port egress utilizations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+#include "util/units.hpp"
+
+namespace pythia::net {
+
+enum class NodeKind : std::uint8_t { kHost, kSwitch };
+
+struct Node {
+  NodeId id;
+  NodeKind kind = NodeKind::kHost;
+  std::string name;
+  /// Rack index for hosts/ToR switches; -1 for core/spine switches.
+  int rack = -1;
+};
+
+struct Link {
+  LinkId id;
+  NodeId src;
+  NodeId dst;
+  util::BitsPerSec capacity;
+};
+
+class Topology {
+ public:
+  NodeId add_host(std::string name, int rack);
+  NodeId add_switch(std::string name, int rack = -1);
+  /// Adds a single directed link.
+  LinkId add_link(NodeId src, NodeId dst, util::BitsPerSec capacity);
+  /// Adds both directions; returns the forward link id.
+  LinkId add_duplex(NodeId a, NodeId b, util::BitsPerSec capacity);
+
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_[id.value()]; }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_[id.value()]; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// Outgoing links of `n`, in insertion order (deterministic).
+  [[nodiscard]] const std::vector<LinkId>& out_links(NodeId n) const {
+    return out_[n.value()];
+  }
+
+  [[nodiscard]] std::vector<NodeId> hosts() const;
+  [[nodiscard]] std::vector<NodeId> switches() const;
+
+  /// First link src->dst if one exists.
+  [[nodiscard]] std::optional<LinkId> find_link(NodeId src, NodeId dst) const;
+
+  /// A synthetic IPv4-style address for a node (10.rack.x.y), used in
+  /// 5-tuples for ECMP hashing.
+  [[nodiscard]] std::uint32_t address_of(NodeId n) const;
+
+  /// True if `path` is a contiguous link chain from `src` to `dst`.
+  [[nodiscard]] bool validate_path(NodeId src, NodeId dst,
+                                   const std::vector<LinkId>& path) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_;
+};
+
+/// The paper's testbed: two racks of `servers_per_rack` hosts, one ToR each,
+/// and `inter_rack_links` parallel duplex links between the ToRs (each
+/// materialized through its own "wire" switch so that multi-path routing sees
+/// distinct node-disjoint paths, matching OpenFlow port-level forwarding).
+struct TwoRackConfig {
+  std::size_t servers_per_rack = 5;
+  std::size_t inter_rack_links = 2;
+  util::BitsPerSec host_link = util::BitsPerSec{10e9};
+  util::BitsPerSec inter_rack_capacity = util::BitsPerSec{10e9};
+};
+Topology make_two_rack(const TwoRackConfig& cfg);
+
+/// Leaf-spine fabric: `racks` ToRs, each host attaches to its ToR, every ToR
+/// attaches to all `spines` spine switches — `spines` equal-cost inter-rack
+/// paths between any two racks. Used by the topology ablation.
+struct LeafSpineConfig {
+  std::size_t racks = 2;
+  std::size_t servers_per_rack = 5;
+  std::size_t spines = 2;
+  util::BitsPerSec host_link = util::BitsPerSec{10e9};
+  util::BitsPerSec uplink = util::BitsPerSec{10e9};
+};
+Topology make_leaf_spine(const LeafSpineConfig& cfg);
+
+}  // namespace pythia::net

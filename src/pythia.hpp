@@ -1,0 +1,39 @@
+// Umbrella header for the Pythia library.
+//
+// Pulls in the full public API: the discrete-event core, the fluid network
+// fabric and SDN substrate, the Hadoop MapReduce model, the Pythia
+// prediction/allocation middleware, workload generators, visualization, and
+// the experiment harness. Include individual module headers instead when
+// compile time matters.
+#pragma once
+
+#include "core/allocator.hpp"        // IWYU pragma: export
+#include "core/collector.hpp"        // IWYU pragma: export
+#include "core/instrumentation.hpp"  // IWYU pragma: export
+#include "core/prediction.hpp"       // IWYU pragma: export
+#include "core/pythia_system.hpp"    // IWYU pragma: export
+#include "core/skew_predictor.hpp"   // IWYU pragma: export
+#include "experiments/scenario.hpp"  // IWYU pragma: export
+#include "experiments/sweep.hpp"     // IWYU pragma: export
+#include "hadoop/config.hpp"         // IWYU pragma: export
+#include "hadoop/engine.hpp"         // IWYU pragma: export
+#include "hadoop/job.hpp"            // IWYU pragma: export
+#include "hadoop/partition.hpp"      // IWYU pragma: export
+#include "net/background.hpp"        // IWYU pragma: export
+#include "net/ecmp.hpp"              // IWYU pragma: export
+#include "net/fabric.hpp"            // IWYU pragma: export
+#include "net/netflow.hpp"           // IWYU pragma: export
+#include "net/routing.hpp"           // IWYU pragma: export
+#include "net/topology.hpp"          // IWYU pragma: export
+#include "sdn/controller.hpp"        // IWYU pragma: export
+#include "sdn/hedera_app.hpp"        // IWYU pragma: export
+#include "sim/event_queue.hpp"       // IWYU pragma: export
+#include "sim/simulation.hpp"        // IWYU pragma: export
+#include "util/random.hpp"           // IWYU pragma: export
+#include "util/stats.hpp"            // IWYU pragma: export
+#include "util/table.hpp"            // IWYU pragma: export
+#include "util/time.hpp"             // IWYU pragma: export
+#include "util/units.hpp"            // IWYU pragma: export
+#include "viz/gantt.hpp"             // IWYU pragma: export
+#include "viz/timeline_export.hpp"   // IWYU pragma: export
+#include "workloads/hibench.hpp"     // IWYU pragma: export

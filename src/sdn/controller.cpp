@@ -1,0 +1,329 @@
+#include "sdn/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace pythia::sdn {
+
+Controller::Controller(sim::Simulation& sim, net::Fabric& fabric,
+                       const net::Topology& topo, ControllerConfig cfg)
+    : sim_(&sim),
+      fabric_(&fabric),
+      topo_(&topo),
+      cfg_(cfg),
+      routing_(topo, cfg.k_paths),
+      ecmp_(routing_),
+      snapshot_load_bps_(topo.link_count(), 0.0),
+      snapshot_shuffle_bps_(topo.link_count(), 0.0) {}
+
+void Controller::refresh_snapshot_if_stale() const {
+  const util::SimTime now = sim_->now();
+  if (snapshot_at_.ns() >= 0 && now - snapshot_at_ < cfg_.link_stats_period) {
+    return;
+  }
+  for (std::size_t l = 0; l < snapshot_load_bps_.size(); ++l) {
+    const net::LinkId id{static_cast<std::uint32_t>(l)};
+    snapshot_load_bps_[l] =
+        fabric_->link_cbr_load(id).bps() + fabric_->link_elastic_rate(id).bps();
+    snapshot_shuffle_bps_[l] =
+        fabric_->link_class_rate(id, net::FlowClass::kShuffle).bps();
+  }
+  snapshot_at_ = now;
+  ++stats_refreshes_;
+}
+
+util::BitsPerSec Controller::snapshot_load(net::LinkId l) const {
+  refresh_snapshot_if_stale();
+  return util::BitsPerSec{snapshot_load_bps_[l.value()]};
+}
+
+util::BitsPerSec Controller::snapshot_background_load(net::LinkId l) const {
+  refresh_snapshot_if_stale();
+  return util::BitsPerSec{std::max(
+      0.0, snapshot_load_bps_[l.value()] - snapshot_shuffle_bps_[l.value()])};
+}
+
+util::BitsPerSec Controller::snapshot_available(net::LinkId l) const {
+  refresh_snapshot_if_stale();
+  const double cap = topo_->link(l).capacity.bps();
+  return util::BitsPerSec{std::max(0.0, cap - snapshot_load_bps_[l.value()])};
+}
+
+double Controller::snapshot_utilization(net::LinkId l) const {
+  refresh_snapshot_if_stale();
+  const double cap = topo_->link(l).capacity.bps();
+  return std::clamp(snapshot_load_bps_[l.value()] / cap, 0.0, 1.0);
+}
+
+util::BitsPerSec Controller::snapshot_path_available(
+    const net::Path& path) const {
+  double avail = std::numeric_limits<double>::infinity();
+  for (net::LinkId l : path.links) {
+    avail = std::min(avail, snapshot_available(l).bps());
+  }
+  return util::BitsPerSec{std::isfinite(avail) ? avail : 0.0};
+}
+
+const net::Path& Controller::resolve(net::NodeId src_host,
+                                     net::NodeId dst_host,
+                                     const net::FiveTuple& tuple) const {
+  if (const PathRule* rule = active_rule(src_host, dst_host)) {
+    return rule->path;
+  }
+  if (const net::Path* rack = compose_rack_path(src_host, dst_host)) {
+    return *rack;
+  }
+  return ecmp_.select(src_host, dst_host, tuple);
+}
+
+void Controller::install_rack_path(int src_rack, int dst_rack,
+                                   net::Path chain) {
+  assert(src_rack >= 0 && dst_rack >= 0 && src_rack != dst_rack);
+  const std::uint64_t key = rack_key(src_rack, dst_rack);
+  const util::SimTime now = sim_->now();
+
+  for (net::LinkId l : chain.links) {
+    if (failed_links_.contains(l)) return;  // stale request, see install_path
+  }
+  PendingRackRule pending;
+  pending.src_rack = src_rack;
+  pending.dst_rack = dst_rack;
+  pending.chain = std::move(chain);
+  pending.active_at = now + cfg_.rule_install_latency;
+  // One wildcard flow-mod per switch on the chain plus the source ToR —
+  // this rule covers *every* server pair between the racks.
+  std::uint64_t mods = 0;
+  for (net::LinkId l : pending.chain.links) {
+    if (topo_->node(topo_->link(l).src).kind == net::NodeKind::kSwitch) {
+      ++mods;
+    }
+  }
+  flow_mods_ += std::max<std::uint64_t>(mods, 1);
+  ++rules_installed_;
+  rack_rules_[key] = std::move(pending);
+  rack_path_cache_.clear();  // composed paths may change
+
+  sim_->after(cfg_.rule_install_latency,
+              [this, key] { activate_rack_rule(key); });
+}
+
+void Controller::activate_rack_rule(std::uint64_t key) {
+  auto it = rack_rules_.find(key);
+  if (it == rack_rules_.end()) return;
+  PendingRackRule& pending = it->second;
+  if (sim_->now() < pending.active_at) return;  // superseded install
+  pending.active = true;
+  rack_path_cache_.clear();
+
+  if (cfg_.reroute_active_flows_on_install) {
+    for (net::FlowId fid : fabric_->active_flows()) {
+      const net::Flow& f = fabric_->flow(fid);
+      if (f.spec.cls != net::FlowClass::kShuffle) continue;
+      if (topo_->node(f.spec.src).rack != pending.src_rack ||
+          topo_->node(f.spec.dst).rack != pending.dst_rack) {
+        continue;
+      }
+      if (active_rule(f.spec.src, f.spec.dst) != nullptr) continue;
+      if (const net::Path* p = compose_rack_path(f.spec.src, f.spec.dst)) {
+        if (f.spec.path != p->links) fabric_->reroute_flow(fid, p->links);
+      }
+    }
+  }
+}
+
+const net::Path* Controller::active_rack_chain(int src_rack,
+                                               int dst_rack) const {
+  const auto it = rack_rules_.find(rack_key(src_rack, dst_rack));
+  if (it == rack_rules_.end() || !it->second.active) return nullptr;
+  return &it->second.chain;
+}
+
+const net::Path* Controller::compose_rack_path(net::NodeId src_host,
+                                               net::NodeId dst_host) const {
+  const int src_rack = topo_->node(src_host).rack;
+  const int dst_rack = topo_->node(dst_host).rack;
+  if (src_rack < 0 || dst_rack < 0 || src_rack == dst_rack) return nullptr;
+  const net::Path* chain = active_rack_chain(src_rack, dst_rack);
+  if (chain == nullptr || chain->links.empty()) return nullptr;
+
+  const std::uint64_t key = pair_key(src_host, dst_host);
+  if (const auto cached = rack_path_cache_.find(key);
+      cached != rack_path_cache_.end()) {
+    return &cached->second;
+  }
+  // host -> ToR access link, the chain, ToR -> host access link.
+  const auto& up = topo_->out_links(src_host);
+  assert(up.size() == 1 && "hosts are single-homed in the builders");
+  const net::NodeId dst_tor = topo_->link(chain->links.back()).dst;
+  const auto down = topo_->find_link(dst_tor, dst_host);
+  if (!down.has_value()) return nullptr;  // chain ends at the wrong ToR
+
+  net::Path full;
+  full.links.reserve(chain->links.size() + 2);
+  full.links.push_back(up.front());
+  full.links.insert(full.links.end(), chain->links.begin(),
+                    chain->links.end());
+  full.links.push_back(*down);
+  if (!topo_->validate_path(src_host, dst_host, full.links)) return nullptr;
+  auto [slot, _] = rack_path_cache_.emplace(key, std::move(full));
+  return &slot->second;
+}
+
+void Controller::install_path(net::NodeId src_host, net::NodeId dst_host,
+                              net::Path path) {
+  assert(topo_->validate_path(src_host, dst_host, path.links));
+  // Refuse rules over failed links: the requester is working from stale
+  // state; traffic stays on ECMP over the rebuilt routing graph instead.
+  for (net::LinkId l : path.links) {
+    if (failed_links_.contains(l)) return;
+  }
+  const std::uint64_t key = pair_key(src_host, dst_host);
+  const util::SimTime now = sim_->now();
+
+  PendingRule pending;
+  pending.rule = PathRule{src_host, dst_host, std::move(path), now,
+                          now + cfg_.rule_install_latency};
+  pending.active = false;
+  // One flow-mod per switch hop on the path (hosts excluded).
+  std::uint64_t mods = 0;
+  for (net::LinkId l : pending.rule.path.links) {
+    if (topo_->node(topo_->link(l).src).kind == net::NodeKind::kSwitch) {
+      ++mods;
+    }
+  }
+  flow_mods_ += std::max<std::uint64_t>(mods, 1);
+  ++rules_installed_;
+  rules_[key] = std::move(pending);
+
+  sim_->after(cfg_.rule_install_latency, [this, key] { activate_rule(key); });
+}
+
+void Controller::activate_rule(std::uint64_t key) {
+  auto it = rules_.find(key);
+  if (it == rules_.end()) return;  // removed while pending
+  PendingRule& pending = it->second;
+  if (sim_->now() < pending.rule.active_at) return;  // superseded install
+  pending.active = true;
+
+  if (cfg_.reroute_active_flows_on_install) {
+    // Move in-flight flows of this aggregate onto the rule's path.
+    for (net::FlowId fid : fabric_->active_flows()) {
+      const net::Flow& f = fabric_->flow(fid);
+      if (f.spec.src == pending.rule.src_host &&
+          f.spec.dst == pending.rule.dst_host &&
+          f.spec.cls == net::FlowClass::kShuffle &&
+          f.spec.path != pending.rule.path.links) {
+        fabric_->reroute_flow(fid, pending.rule.path.links);
+      }
+    }
+  }
+  PYTHIA_LOG(kDebug, "sdn") << "rule active for pair ("
+                            << pending.rule.src_host.value() << " -> "
+                            << pending.rule.dst_host.value() << ")";
+}
+
+const PathRule* Controller::active_rule(net::NodeId src_host,
+                                        net::NodeId dst_host) const {
+  const auto it = rules_.find(pair_key(src_host, dst_host));
+  if (it == rules_.end() || !it->second.active) return nullptr;
+  return &it->second.rule;
+}
+
+void Controller::remove_rule(net::NodeId src_host, net::NodeId dst_host) {
+  rules_.erase(pair_key(src_host, dst_host));
+}
+
+namespace {
+/// The opposite direction of a duplex cable, if present.
+std::optional<net::LinkId> duplex_peer(const net::Topology& topo,
+                                       net::LinkId l) {
+  const auto& link = topo.link(l);
+  return topo.find_link(link.dst, link.src);
+}
+}  // namespace
+
+void Controller::handle_link_failure(net::LinkId l) {
+  // A cable failure takes both directions down.
+  std::vector<net::LinkId> down{l};
+  if (const auto peer = duplex_peer(*topo_, l)) down.push_back(*peer);
+
+  for (net::LinkId d : down) {
+    if (!failed_links_.insert(d).second) continue;
+    fabric_->fail_link(d);
+  }
+  routing_.rebuild(*topo_, failed_links_);
+  ++topology_rebuilds_;
+
+  // Purge forwarding rules (host-pair and rack wildcards) that traverse a
+  // dead link; traffic falls back to ECMP over the rebuilt path set until an
+  // app reinstalls.
+  for (auto it = rules_.begin(); it != rules_.end();) {
+    const auto& path = it->second.rule.path.links;
+    const bool dead = std::any_of(path.begin(), path.end(),
+                                  [this](net::LinkId pl) {
+                                    return failed_links_.contains(pl);
+                                  });
+    it = dead ? rules_.erase(it) : ++it;
+  }
+  for (auto it = rack_rules_.begin(); it != rack_rules_.end();) {
+    const auto& chain = it->second.chain.links;
+    const bool dead = std::any_of(chain.begin(), chain.end(),
+                                  [this](net::LinkId pl) {
+                                    return failed_links_.contains(pl);
+                                  });
+    it = dead ? rack_rules_.erase(it) : ++it;
+  }
+  rack_path_cache_.clear();
+
+  // Reroute stranded in-flight flows (their TCP connections would retransmit
+  // onto the re-converged forwarding state).
+  for (net::LinkId d : down) {
+    for (net::FlowId fid : fabric_->flows_crossing(d)) {
+      const net::Flow& f = fabric_->flow(fid);
+      const auto& candidates = routing_.paths(f.spec.src, f.spec.dst);
+      if (candidates.empty()) continue;  // disconnected: stays stalled
+      const net::Path& p = ecmp_.select(f.spec.src, f.spec.dst, f.spec.tuple);
+      fabric_->reroute_flow(fid, p.links);
+    }
+  }
+  PYTHIA_LOG(kInfo, "sdn") << "link " << l.value()
+                           << " failed; routing graph rebuilt";
+}
+
+void Controller::handle_switch_failure(net::NodeId switch_node) {
+  assert(topo_->node(switch_node).kind == net::NodeKind::kSwitch);
+  // Every adjacent link dies; handle_link_failure on each egress also takes
+  // the ingress twin down via the duplex pairing.
+  for (net::LinkId l : topo_->out_links(switch_node)) {
+    handle_link_failure(l);
+  }
+}
+
+void Controller::handle_switch_restore(net::NodeId switch_node) {
+  assert(topo_->node(switch_node).kind == net::NodeKind::kSwitch);
+  for (net::LinkId l : topo_->out_links(switch_node)) {
+    handle_link_restore(l);
+  }
+}
+
+void Controller::handle_link_restore(net::LinkId l) {
+  std::vector<net::LinkId> up{l};
+  if (const auto peer = duplex_peer(*topo_, l)) up.push_back(*peer);
+  bool changed = false;
+  for (net::LinkId u : up) {
+    if (failed_links_.erase(u) > 0) {
+      fabric_->restore_link(u);
+      changed = true;
+    }
+  }
+  if (changed) {
+    routing_.rebuild(*topo_, failed_links_);
+    ++topology_rebuilds_;
+  }
+}
+
+}  // namespace pythia::sdn

@@ -1,0 +1,197 @@
+// SDN controller substrate (the role OpenDaylight plays in the paper).
+//
+// Provides the services the Pythia network-scheduling plugin consumes:
+//  * topology service — a RoutingGraph of k-shortest paths per host pair,
+//    recomputed only on topology-change events (link failure);
+//  * link-load update service — a periodically refreshed snapshot of link
+//    utilization (sample-and-hold; queries between refreshes see stale data,
+//    as with real controller statistics collection);
+//  * forwarding-rule management — install a path for a (src-host, dst-host)
+//    aggregate with a per-rule install latency (the paper budgets 3–5 ms per
+//    flow installed); until a rule is active, traffic falls back to ECMP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ecmp.hpp"
+#include "net/fabric.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+#include "util/time.hpp"
+
+namespace pythia::sdn {
+
+struct ControllerConfig {
+  /// k of the k-shortest-path precomputation.
+  std::size_t k_paths = 2;
+  /// Latency from an install request to the rule taking effect in hardware.
+  util::Duration rule_install_latency = util::Duration::millis(4);
+  /// Refresh period of the link-load snapshot.
+  util::Duration link_stats_period = util::Duration::seconds_i(1);
+  /// When a rule activates while flows of its aggregate are in flight, move
+  /// them onto the rule's path (OpenFlow rules affect subsequent packets).
+  bool reroute_active_flows_on_install = true;
+};
+
+/// A forwarding rule for a host-pair aggregate (the paper aggregates at
+/// server granularity because shuffle dst ports are unknowable in advance).
+struct PathRule {
+  net::NodeId src_host;
+  net::NodeId dst_host;
+  net::Path path;
+  util::SimTime requested_at;
+  util::SimTime active_at;  // requested_at + install latency
+};
+
+class Controller {
+ public:
+  Controller(sim::Simulation& sim, net::Fabric& fabric,
+             const net::Topology& topo, ControllerConfig cfg = {});
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
+  [[nodiscard]] const net::RoutingGraph& routing() const { return routing_; }
+  [[nodiscard]] const net::Topology& topology() const { return *topo_; }
+  [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] sim::Simulation& simulation() { return *sim_; }
+
+  // --- link-load update service (snapshot semantics) ---
+
+  /// Measured load (CBR + elastic) on `l` as of the last snapshot refresh.
+  [[nodiscard]] util::BitsPerSec snapshot_load(net::LinkId l) const;
+  /// Measured load excluding shuffle-class traffic — the paper's allocator
+  /// separates the background (over-subscription) portion of link load from
+  /// the application's own transfers.
+  [[nodiscard]] util::BitsPerSec snapshot_background_load(net::LinkId l) const;
+  /// Capacity minus snapshot load, floored at zero.
+  [[nodiscard]] util::BitsPerSec snapshot_available(net::LinkId l) const;
+  /// Snapshot utilization in [0, 1].
+  [[nodiscard]] double snapshot_utilization(net::LinkId l) const;
+  /// Minimum snapshot-available bandwidth along a path.
+  [[nodiscard]] util::BitsPerSec snapshot_path_available(
+      const net::Path& path) const;
+
+  // --- forwarding ---
+
+  /// Resolves the path a new flow between two hosts takes right now:
+  /// an active rule's path if one exists, otherwise ECMP over the
+  /// k-shortest-path set.
+  [[nodiscard]] const net::Path& resolve(net::NodeId src_host,
+                                         net::NodeId dst_host,
+                                         const net::FiveTuple& tuple) const;
+
+  /// Requests installation of `path` for the host-pair aggregate. The rule
+  /// becomes active after the configured install latency; one flow-mod per
+  /// switch on the path is counted toward the control-plane overhead totals.
+  void install_path(net::NodeId src_host, net::NodeId dst_host,
+                    net::Path path);
+
+  /// Active rule for a pair, if any (inactive pending rules not returned).
+  [[nodiscard]] const PathRule* active_rule(net::NodeId src_host,
+                                            net::NodeId dst_host) const;
+
+  /// Removes the rule (and any pending install) for a pair.
+  void remove_rule(net::NodeId src_host, net::NodeId dst_host);
+
+  // --- rack-granularity wildcard rules (paper §IV: forwarding-state
+  // conservation — "large-scale future SDN setups may force routing at the
+  // level of server aggregations, e.g. racks or PODs"; one wildcard rule per
+  // switch covers every server pair between the racks) ---
+
+  /// Installs an inter-rack chain (ToR-to-ToR link sequence) for all traffic
+  /// from `src_rack` to `dst_rack`. Subject to the same install latency.
+  void install_rack_path(int src_rack, int dst_rack, net::Path chain);
+  /// Active chain for a rack pair, if any.
+  [[nodiscard]] const net::Path* active_rack_chain(int src_rack,
+                                                   int dst_rack) const;
+
+  // --- topology-update service (paper §IV: "the routing graph is updated
+  // at the event of link or switch failure") ---
+
+  /// Handles a physical link failure: fails the duplex peer too, takes the
+  /// links down in the fabric, rebuilds the routing graph without them,
+  /// purges rules that traversed them, and reroutes stranded in-flight
+  /// flows onto surviving paths (ECMP over the rebuilt graph).
+  void handle_link_failure(net::LinkId l);
+  /// Reverts a failure: restores the links and rebuilds the routing graph.
+  void handle_link_restore(net::LinkId l);
+  /// Whole-switch failure: every link touching the switch goes down.
+  void handle_switch_failure(net::NodeId switch_node);
+  /// Reverts a switch failure.
+  void handle_switch_restore(net::NodeId switch_node);
+  [[nodiscard]] const std::unordered_set<net::LinkId>& failed_links() const {
+    return failed_links_;
+  }
+  [[nodiscard]] std::uint64_t topology_rebuilds() const {
+    return topology_rebuilds_;
+  }
+
+  // --- overhead accounting (Section V-C table) ---
+  [[nodiscard]] std::uint64_t rules_installed() const {
+    return rules_installed_;
+  }
+  [[nodiscard]] std::uint64_t flow_mod_messages() const {
+    return flow_mods_;
+  }
+  [[nodiscard]] std::uint64_t stats_refreshes() const {
+    return stats_refreshes_;
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t pair_key(net::NodeId a, net::NodeId b) {
+    return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+  }
+  void refresh_snapshot_if_stale() const;
+  void activate_rule(std::uint64_t key);
+
+  sim::Simulation* sim_;
+  net::Fabric* fabric_;
+  const net::Topology* topo_;
+  ControllerConfig cfg_;
+  net::RoutingGraph routing_;
+  net::EcmpSelector ecmp_;
+
+  struct PendingRule {
+    PathRule rule;
+    bool active = false;
+  };
+  std::unordered_map<std::uint64_t, PendingRule> rules_;
+
+  struct PendingRackRule {
+    int src_rack = -1;
+    int dst_rack = -1;
+    net::Path chain;
+    util::SimTime active_at;
+    bool active = false;
+  };
+  [[nodiscard]] static std::uint64_t rack_key(int a, int b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+  void activate_rack_rule(std::uint64_t key);
+  /// Composes host access links around a rack chain; cached per host pair.
+  [[nodiscard]] const net::Path* compose_rack_path(net::NodeId src_host,
+                                                   net::NodeId dst_host) const;
+  std::unordered_map<std::uint64_t, PendingRackRule> rack_rules_;
+  mutable std::unordered_map<std::uint64_t, net::Path> rack_path_cache_;
+
+  mutable std::vector<double> snapshot_load_bps_;
+  mutable std::vector<double> snapshot_shuffle_bps_;
+  mutable util::SimTime snapshot_at_ = util::SimTime{-1};
+  mutable std::uint64_t stats_refreshes_ = 0;
+
+  std::unordered_set<net::LinkId> failed_links_;
+  std::uint64_t topology_rebuilds_ = 0;
+
+  std::uint64_t rules_installed_ = 0;
+  std::uint64_t flow_mods_ = 0;
+};
+
+}  // namespace pythia::sdn

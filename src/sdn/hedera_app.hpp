@@ -1,0 +1,56 @@
+// Hedera-like load-aware flow scheduler (baseline).
+//
+// The paper argues (Section II) that replacing ECMP with a load-aware
+// scheduler such as Hedera avoids some adversarial allocations but cannot
+// exploit application semantics: it detects elephant flows only *after* they
+// exceed a rate threshold, and it knows neither flow sizes nor criticality.
+// This app reproduces that behaviour: it polls active flows every scheduling
+// round, classifies flows whose current rate (or whose demand, when starved)
+// exceeds a fraction of the host NIC rate as elephants, and greedily moves
+// each elephant to the path with the most snapshot-available bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "sdn/controller.hpp"
+
+namespace pythia::sdn {
+
+struct HederaConfig {
+  /// Scheduling round period (Hedera's control loop runs every ~5 s).
+  util::Duration poll_period = util::Duration::seconds_i(5);
+  /// Elephant threshold as a fraction of the flow's first-hop link capacity
+  /// (Hedera uses 10% of NIC rate).
+  double elephant_fraction = 0.10;
+};
+
+class HederaApp final : public net::FabricObserver {
+ public:
+  HederaApp(Controller& controller, HederaConfig cfg = {});
+  ~HederaApp() override;
+
+  HederaApp(const HederaApp&) = delete;
+  HederaApp& operator=(const HederaApp&) = delete;
+
+  void on_flow_started(const net::Fabric& fabric, net::FlowId flow,
+                       util::SimTime at) override;
+
+  [[nodiscard]] std::uint64_t scheduling_rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t elephants_rerouted() const {
+    return rerouted_;
+  }
+
+ private:
+  void schedule_round();
+  void run_round();
+  [[nodiscard]] bool is_elephant(const net::Flow& flow) const;
+
+  Controller* controller_;
+  HederaConfig cfg_;
+  bool round_pending_ = false;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t rerouted_ = 0;
+};
+
+}  // namespace pythia::sdn

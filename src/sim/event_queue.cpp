@@ -1,0 +1,66 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace pythia::sim {
+
+void EventHandle::cancel() {
+  if (!state_ || state_->cancelled || state_->fired) return;
+  state_->cancelled = true;
+  if (state_->live != nullptr) {
+    assert(*state_->live > 0);
+    --*state_->live;
+  }
+}
+
+bool EventHandle::cancelled() const { return state_ && state_->cancelled; }
+
+EventHandle EventQueue::schedule(util::SimTime at, EventFn fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  auto state = std::make_shared<EventHandle::State>();
+  state->live = &live_;
+  heap_.push(Entry{at, next_seq_++, std::move(fn), state});
+  ++live_;
+  return EventHandle{std::move(state)};
+}
+
+bool EventQueue::run_one() {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; the Entry must be moved out via a
+    // const_cast-free copy of the cheap fields and a move of the callable.
+    Entry entry{heap_.top().at, heap_.top().seq,
+                std::move(const_cast<Entry&>(heap_.top()).fn),
+                heap_.top().state};
+    heap_.pop();
+    if (entry.state->cancelled) continue;  // live_ already decremented
+    entry.state->fired = true;
+    --live_;
+    assert(entry.at >= now_);
+    now_ = entry.at;
+    ++fired_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::run_all(std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && run_one()) ++n;
+  return n;
+}
+
+std::size_t EventQueue::run_until(util::SimTime until) {
+  std::size_t n = 0;
+  while (!heap_.empty()) {
+    // Skim cancelled entries so top() reflects the next real event.
+    while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
+    if (heap_.empty() || heap_.top().at > until) break;
+    if (run_one()) ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace pythia::sim

@@ -1,0 +1,98 @@
+// Discrete-event queue.
+//
+// Events are ordered by (time, insertion sequence) so that same-time events
+// fire in deterministic FIFO order — a hard requirement for reproducible
+// experiments. Cancellation is lazy: a cancelled event stays in the heap but
+// is skipped on pop, which keeps cancel O(1) (the fluid network model cancels
+// its pending flow-completion event on every recompute).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace pythia::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle used to cancel a scheduled event. Default-constructed handles are
+/// inert. Copies share the same cancellation flag.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet; idempotent.
+  void cancel();
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool cancelled() const;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+    std::size_t* live = nullptr;  // queue's live-event counter
+  };
+  explicit EventHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` at absolute time `at`. `at` must be >= now() (asserted).
+  EventHandle schedule(util::SimTime at, EventFn fn);
+
+  /// Convenience: schedule `fn` after a relative delay.
+  EventHandle schedule_after(util::Duration delay, EventFn fn) {
+    return schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Pops and runs the earliest non-cancelled event; advances now() to its
+  /// timestamp. Returns false when the queue is empty.
+  bool run_one();
+
+  /// Runs events until the queue drains or `limit` events have fired.
+  /// Returns the number of events fired.
+  std::size_t run_all(std::size_t limit = SIZE_MAX);
+
+  /// Runs events with timestamp <= `until` (advances now() to `until` even if
+  /// the queue drains earlier). Returns the number of events fired.
+  std::size_t run_until(util::SimTime until);
+
+  [[nodiscard]] util::SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  /// Number of scheduled, not-yet-fired, not-cancelled events.
+  [[nodiscard]] std::size_t pending() const { return live_; }
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Entry {
+    util::SimTime at;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  util::SimTime now_ = util::SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace pythia::sim

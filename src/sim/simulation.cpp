@@ -1,0 +1,17 @@
+#include "sim/simulation.hpp"
+
+namespace pythia::sim {
+
+util::Xoshiro256& Simulation::rng(const std::string& stream_name) {
+  auto it = streams_.find(stream_name);
+  if (it == streams_.end()) {
+    const std::uint64_t tag = util::hash_bytes(stream_name.data(), stream_name.size());
+    it = streams_
+             .emplace(stream_name, std::make_unique<util::Xoshiro256>(
+                                       util::derive_seed(seed_, tag)))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace pythia::sim

@@ -1,0 +1,52 @@
+// Simulation context: clock + event queue + seeded RNG streams.
+//
+// Every model component receives a `Simulation&` and interacts with simulated
+// time exclusively through it. Components requiring randomness ask for a
+// named stream so that adding a new consumer never perturbs existing streams
+// (which would silently change every experiment).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "sim/event_queue.hpp"
+#include "util/random.hpp"
+#include "util/time.hpp"
+
+namespace pythia::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : seed_(seed) {}
+
+  [[nodiscard]] util::SimTime now() const { return queue_.now(); }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  EventHandle at(util::SimTime t, EventFn fn) {
+    return queue_.schedule(t, std::move(fn));
+  }
+  EventHandle after(util::Duration d, EventFn fn) {
+    return queue_.schedule_after(d, std::move(fn));
+  }
+
+  /// Runs the simulation to completion (or `max_events`).
+  std::size_t run(std::size_t max_events = SIZE_MAX) {
+    return queue_.run_all(max_events);
+  }
+  std::size_t run_until(util::SimTime t) { return queue_.run_until(t); }
+
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
+
+  /// Returns a stable per-name RNG stream derived from the root seed.
+  util::Xoshiro256& rng(const std::string& stream_name);
+
+ private:
+  std::uint64_t seed_;
+  EventQueue queue_;
+  std::unordered_map<std::string, std::unique_ptr<util::Xoshiro256>> streams_;
+};
+
+}  // namespace pythia::sim

@@ -1,0 +1,31 @@
+// Minimal CSV writer for exporting timelines and experiment series.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pythia::util {
+
+/// Writes RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends a data row; must match the header arity.
+  void write_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+  /// Escapes a single field per CSV quoting rules.
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace pythia::util

@@ -1,0 +1,95 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace pythia::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "%s [%s] %s\n", level_name(level), component.c_str(),
+               message.c_str());
+}
+
+// --- unit formatting (declared in units.hpp / time.hpp) ---
+
+std::string format_bytes(Bytes b) {
+  const double v = b.as_double();
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  if (v >= 1e12) {
+    os << v / 1e12 << " TB";
+  } else if (v >= 1e9) {
+    os << v / 1e9 << " GB";
+  } else if (v >= 1e6) {
+    os << v / 1e6 << " MB";
+  } else if (v >= 1e3) {
+    os << v / 1e3 << " KB";
+  } else {
+    os << b.count() << " B";
+  }
+  return os.str();
+}
+
+std::string format_rate(BitsPerSec r) {
+  const double v = r.bps();
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  if (v >= 1e9) {
+    os << v / 1e9 << " Gbps";
+  } else if (v >= 1e6) {
+    os << v / 1e6 << " Mbps";
+  } else if (v >= 1e3) {
+    os << v / 1e3 << " Kbps";
+  } else {
+    os << v << " bps";
+  }
+  return os.str();
+}
+
+std::string format_duration(Duration d) {
+  const double s = d.seconds();
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  if (d == Duration::max()) {
+    os << "inf";
+  } else if (s >= 1.0) {
+    os << s << " s";
+  } else if (s >= 1e-3) {
+    os << s * 1e3 << " ms";
+  } else {
+    os << s * 1e6 << " us";
+  }
+  return os.str();
+}
+
+}  // namespace pythia::util

@@ -1,0 +1,104 @@
+#include "util/random.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace pythia::util {
+
+std::uint64_t Xoshiro256::below(std::uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = -n % n;
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::exponential(double mean) {
+  assert(mean > 0.0);
+  double u = uniform01();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Xoshiro256::gaussian(double mean, double stddev) {
+  // Box–Muller; draw both uniforms every call so the stream position is a
+  // pure function of call count.
+  double u1 = uniform01();
+  const double u2 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) : exponent_(exponent) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::sample(Xoshiro256& rng) const {
+  const double u = rng.uniform01();
+  // Binary search for the first cdf entry >= u.
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ZipfSampler::pmf(std::size_t i) const {
+  assert(i < cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t tag) {
+  SplitMix64 sm(root ^ (tag * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+  sm.next();
+  return sm.next();
+}
+
+std::uint64_t hash_bytes(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  // Final avalanche (SplitMix64 finalizer).
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+std::uint64_t hash_u64s(std::initializer_list<std::uint64_t> vs) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t v : vs) {
+    h ^= hash_bytes(&v, sizeof(v)) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace pythia::util

@@ -1,0 +1,112 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic component of the simulator (task durations, ECMP port
+// hashes, background-traffic placement, key skew) draws from its own
+// explicitly seeded stream so that experiments are reproducible and
+// components can be re-seeded independently (paper's "average of multiple
+// executions" becomes a seed sweep).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace pythia::util {
+
+/// SplitMix64 — used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality generator for the simulation loops.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t n);
+
+  /// Exponential variate with the given mean.
+  double exponential(double mean);
+
+  /// Gaussian variate (Box–Muller, no caching so draws stay stream-ordered).
+  double gaussian(double mean, double stddev);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Samples from a Zipf(s) distribution over ranks 1..n via inverse-CDF on a
+/// precomputed table. Used to model MapReduce key-space skew.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t n() const { return cdf_.size(); }
+  [[nodiscard]] double exponent() const { return exponent_; }
+
+  /// Returns a rank in [0, n).
+  std::size_t sample(Xoshiro256& rng) const;
+
+  /// Probability mass of rank i (0-based).
+  [[nodiscard]] double pmf(std::size_t i) const;
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+/// Derives a child seed for component `tag` from a root seed; stable across
+/// runs, unrelated streams for different tags.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t root, std::uint64_t tag);
+
+/// 64-bit mix of an arbitrary byte string (FNV-1a + finalizer); used for
+/// ECMP 5-tuple hashing.
+[[nodiscard]] std::uint64_t hash_bytes(const void* data, std::size_t len);
+
+/// Convenience: hash a pack of integers (used for flow 5-tuples).
+[[nodiscard]] std::uint64_t hash_u64s(std::initializer_list<std::uint64_t> vs);
+
+}  // namespace pythia::util

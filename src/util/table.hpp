@@ -1,0 +1,34 @@
+// Console table rendering for paper-style experiment output.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pythia::util {
+
+/// Builds an aligned ASCII table row by row; the benches use this to print
+/// the same rows/series the paper's figures report.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for cells.
+  static std::string num(double v, int precision = 2);
+  static std::string percent(double fraction, int precision = 1);
+  static std::string seconds(double s, int precision = 1);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pythia::util

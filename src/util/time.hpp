@@ -1,0 +1,119 @@
+// Simulation clock types.
+//
+// Simulated time is an integer nanosecond count so that event ordering is
+// exact and runs are bit-reproducible across platforms; doubles appear only
+// at the edges (rate computations, report output).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace pythia::util {
+
+/// A span of simulated time, in integer nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  [[nodiscard]] static constexpr Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9 + 0.5)};
+  }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) {
+    return Duration{ms * 1'000'000};
+  }
+  [[nodiscard]] static constexpr Duration micros(std::int64_t us) {
+    return Duration{us * 1'000};
+  }
+  [[nodiscard]] static constexpr Duration seconds_i(std::int64_t s) {
+    return Duration{s * 1'000'000'000};
+  }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr Duration& operator+=(Duration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.ns_ + b.ns_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.ns_ - b.ns_};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration{a.ns_ * k};
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute point on the simulation clock (nanoseconds since run start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9 + 0.5)};
+  }
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime{t.ns_ + d.ns()};
+  }
+  friend constexpr SimTime operator-(SimTime t, Duration d) {
+    return SimTime{t.ns_ - d.ns()};
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration{a.ns_ - b.ns_};
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Time needed to move `b` bytes at rate `r`; Duration::max() if r == 0.
+[[nodiscard]] constexpr Duration transfer_time(Bytes b, BitsPerSec r) {
+  if (r.bps() <= 0.0) return Duration::max();
+  const double secs = b.as_double() / r.bytes_per_sec();
+  // Guard against overflow when converting enormous spans.
+  if (secs >= 9.0e9) return Duration::max();
+  return Duration::from_seconds(secs);
+}
+
+/// Bytes moved in `d` at rate `r`.
+[[nodiscard]] constexpr Bytes bytes_in(Duration d, BitsPerSec r) {
+  return Bytes{static_cast<std::int64_t>(d.seconds() * r.bytes_per_sec() + 0.5)};
+}
+
+/// Formats a duration as "12.345 s" / "8.2 ms" for reports.
+std::string format_duration(Duration d);
+
+}  // namespace pythia::util

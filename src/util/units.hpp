@@ -1,0 +1,130 @@
+// Strong unit types used throughout the Pythia simulator.
+//
+// The physics of the fluid network model mixes byte counts, bit rates and
+// durations; encoding each in its own vocabulary type keeps unit confusion
+// (the classic bytes-vs-bits-per-second bug) out of the hot paths while
+// compiling down to plain integer/double arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace pythia::util {
+
+/// A byte count. Signed so that subtraction of counters is well-defined;
+/// negative values indicate accounting bugs and are asserted against at use
+/// sites rather than silently clamped.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return count_; }
+  [[nodiscard]] constexpr double as_double() const {
+    return static_cast<double>(count_);
+  }
+
+  constexpr Bytes& operator+=(Bytes other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) {
+    count_ -= other.count_;
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes{a.count_ + b.count_};
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes{a.count_ - b.count_};
+  }
+  friend constexpr Bytes operator*(Bytes a, std::int64_t k) {
+    return Bytes{a.count_ * k};
+  }
+  friend constexpr Bytes operator*(std::int64_t k, Bytes a) { return a * k; }
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+  /// Scales by a dimensionless factor, rounding to the nearest byte.
+  [[nodiscard]] constexpr Bytes scaled(double factor) const {
+    return Bytes{static_cast<std::int64_t>(static_cast<double>(count_) * factor + 0.5)};
+  }
+
+  static constexpr Bytes zero() { return Bytes{0}; }
+  static constexpr Bytes max() {
+    return Bytes{std::numeric_limits<std::int64_t>::max()};
+  }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+constexpr Bytes operator""_B(unsigned long long v) {
+  return Bytes{static_cast<std::int64_t>(v)};
+}
+constexpr Bytes operator""_KB(unsigned long long v) {
+  return Bytes{static_cast<std::int64_t>(v) * 1000};
+}
+constexpr Bytes operator""_MB(unsigned long long v) {
+  return Bytes{static_cast<std::int64_t>(v) * 1000 * 1000};
+}
+constexpr Bytes operator""_GB(unsigned long long v) {
+  return Bytes{static_cast<std::int64_t>(v) * 1000 * 1000 * 1000};
+}
+
+/// A data rate in bits per second, stored as double because fluid max-min
+/// shares are fractional.
+class BitsPerSec {
+ public:
+  constexpr BitsPerSec() = default;
+  constexpr explicit BitsPerSec(double bps) : bps_(bps) {}
+
+  [[nodiscard]] constexpr double bps() const { return bps_; }
+  [[nodiscard]] constexpr double bytes_per_sec() const { return bps_ / 8.0; }
+
+  constexpr BitsPerSec& operator+=(BitsPerSec other) {
+    bps_ += other.bps_;
+    return *this;
+  }
+  constexpr BitsPerSec& operator-=(BitsPerSec other) {
+    bps_ -= other.bps_;
+    return *this;
+  }
+  friend constexpr BitsPerSec operator+(BitsPerSec a, BitsPerSec b) {
+    return BitsPerSec{a.bps_ + b.bps_};
+  }
+  friend constexpr BitsPerSec operator-(BitsPerSec a, BitsPerSec b) {
+    return BitsPerSec{a.bps_ - b.bps_};
+  }
+  friend constexpr BitsPerSec operator*(BitsPerSec a, double k) {
+    return BitsPerSec{a.bps_ * k};
+  }
+  friend constexpr BitsPerSec operator*(double k, BitsPerSec a) { return a * k; }
+  friend constexpr BitsPerSec operator/(BitsPerSec a, double k) {
+    return BitsPerSec{a.bps_ / k};
+  }
+  friend constexpr auto operator<=>(BitsPerSec, BitsPerSec) = default;
+
+  static constexpr BitsPerSec zero() { return BitsPerSec{0.0}; }
+
+ private:
+  double bps_ = 0.0;
+};
+
+constexpr BitsPerSec operator""_bps(long double v) {
+  return BitsPerSec{static_cast<double>(v)};
+}
+constexpr BitsPerSec operator""_Mbps(unsigned long long v) {
+  return BitsPerSec{static_cast<double>(v) * 1e6};
+}
+constexpr BitsPerSec operator""_Gbps(unsigned long long v) {
+  return BitsPerSec{static_cast<double>(v) * 1e9};
+}
+
+/// Formats a byte count with a human-readable suffix ("1.5 GB").
+std::string format_bytes(Bytes b);
+/// Formats a rate with a human-readable suffix ("9.4 Gbps").
+std::string format_rate(BitsPerSec r);
+
+}  // namespace pythia::util

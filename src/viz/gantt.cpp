@@ -1,0 +1,108 @@
+#include "viz/gantt.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace pythia::viz {
+
+namespace {
+
+/// Maps a time to a column in [0, width).
+std::size_t column(util::SimTime t, util::SimTime t0, util::SimTime t1,
+                   std::size_t width) {
+  const double span = (t1 - t0).seconds();
+  if (span <= 0.0) return 0;
+  const double frac = (t - t0).seconds() / span;
+  const auto col = static_cast<std::size_t>(frac * static_cast<double>(width));
+  return std::min(col, width - 1);
+}
+
+void paint(std::string& row, std::size_t from, std::size_t to, char c) {
+  for (std::size_t i = from; i <= to && i < row.size(); ++i) row[i] = c;
+}
+
+}  // namespace
+
+std::string render_sequence_diagram(const hadoop::JobResult& result,
+                                    const GanttOptions& options) {
+  const util::SimTime t0 = result.submitted;
+  const util::SimTime t1 = result.completed;
+  const std::size_t w = std::max<std::size_t>(options.width, 10);
+
+  std::ostringstream out;
+  out << "job '" << result.name << "'  span "
+      << (t1 - t0).seconds() << " s   legend: map '='  shuffle '~'  reduce '#'\n";
+
+  const std::size_t map_rows =
+      std::min(result.maps.size(), options.max_map_rows);
+  for (std::size_t i = 0; i < map_rows; ++i) {
+    const auto& m = result.maps[i];
+    std::string row(w, ' ');
+    paint(row, column(m.started, t0, t1, w), column(m.finished, t0, t1, w),
+          '=');
+    out << "map-" << std::setw(4) << std::setfill('0') << i << std::setfill(' ')
+        << " |" << row << "|\n";
+  }
+  if (result.maps.size() > map_rows) {
+    out << "  ... " << result.maps.size() - map_rows
+        << " more map tasks elided ...\n";
+  }
+
+  for (const auto& r : result.reducers) {
+    std::string row(w, ' ');
+    paint(row, column(r.started, t0, t1, w),
+          column(r.shuffle_done, t0, t1, w), '~');
+    paint(row, column(r.shuffle_done, t0, t1, w),
+          column(r.finished, t0, t1, w), '#');
+    out << "red-" << std::setw(4) << std::setfill('0') << r.index
+        << std::setfill(' ') << " |" << row << "|\n";
+  }
+
+  out << std::string(10, ' ') << "0s" << std::string(w - 6, ' ')
+      << util::Table::num((t1 - t0).seconds(), 1) << "s\n";
+  return out.str();
+}
+
+std::string render_reducer_summary(const hadoop::JobResult& result) {
+  util::Table table({"reducer", "server", "shuffled", "vs mean", "shuffle",
+                     "reduce"});
+  const auto loads = result.reducer_load_profile();
+  double mean = 0.0;
+  for (double x : loads) mean += x;
+  if (!loads.empty()) mean /= static_cast<double>(loads.size());
+
+  for (const auto& r : result.reducers) {
+    table.add_row({
+        std::to_string(r.index),
+        std::to_string(r.server.value()),
+        util::format_bytes(r.shuffled),
+        mean > 0.0 ? util::Table::num(r.shuffled.as_double() / mean, 2) + "x"
+                   : "-",
+        util::Table::seconds(r.shuffle_duration().seconds()),
+        util::Table::seconds(r.reduce_duration().seconds()),
+    });
+  }
+  return table.to_string();
+}
+
+std::string render_phase_summary(const hadoop::JobResult& result) {
+  util::Table table({"phase", "ends at", "span"});
+  const auto map_end = result.map_phase_end();
+  const auto shuffle_end = result.shuffle_phase_end();
+  table.add_row({"map", util::Table::seconds((map_end - result.submitted).seconds()),
+                 util::Table::seconds((map_end - result.submitted).seconds())});
+  table.add_row({"shuffle (tail)",
+                 util::Table::seconds((shuffle_end - result.submitted).seconds()),
+                 util::Table::seconds((shuffle_end - map_end).seconds())});
+  table.add_row({"reduce (tail)",
+                 util::Table::seconds((result.completed - result.submitted).seconds()),
+                 util::Table::seconds((result.completed - shuffle_end).seconds())});
+  return table.to_string();
+}
+
+}  // namespace pythia::viz

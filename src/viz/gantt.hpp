@@ -1,0 +1,33 @@
+// Sequence-diagram rendering of a job execution.
+//
+// The paper's Fig. 1a was produced by "a custom visualization tool we have
+// developed" showing map / shuffle / reduce spans per task; this is the
+// text-mode equivalent. Map spans render as '=', shuffle spans as '~',
+// reduce spans as '#'.
+#pragma once
+
+#include <string>
+
+#include "hadoop/job.hpp"
+
+namespace pythia::viz {
+
+struct GanttOptions {
+  /// Character width of the time axis.
+  std::size_t width = 96;
+  /// Cap on map rows rendered (large jobs get the first N plus a summary).
+  std::size_t max_map_rows = 24;
+};
+
+/// Renders the per-task execution timeline (the Fig. 1a view).
+std::string render_sequence_diagram(const hadoop::JobResult& result,
+                                    const GanttOptions& options = {});
+
+/// Renders a per-reducer shuffle table: bytes received, skew vs. the mean,
+/// shuffle and reduce durations.
+std::string render_reducer_summary(const hadoop::JobResult& result);
+
+/// Renders the phase summary: map phase, shuffle tail, reduce tail, total.
+std::string render_phase_summary(const hadoop::JobResult& result);
+
+}  // namespace pythia::viz

@@ -1,0 +1,55 @@
+#include "viz/timeline_export.hpp"
+
+#include "util/csv.hpp"
+
+namespace pythia::viz {
+
+void export_timeline_csv(const hadoop::JobResult& result,
+                         const std::string& path) {
+  util::CsvWriter csv(path, {"kind", "index", "src_server", "dst_server",
+                             "start_s", "end_s", "bytes"});
+  for (const auto& m : result.maps) {
+    csv.write_row({"map", std::to_string(m.index),
+                   std::to_string(m.server.value()), "",
+                   std::to_string(m.started.seconds()),
+                   std::to_string(m.finished.seconds()), ""});
+  }
+  for (const auto& r : result.reducers) {
+    csv.write_row({"shuffle", std::to_string(r.index), "",
+                   std::to_string(r.server.value()),
+                   std::to_string(r.started.seconds()),
+                   std::to_string(r.shuffle_done.seconds()),
+                   std::to_string(r.shuffled.count())});
+    csv.write_row({"reduce", std::to_string(r.index), "",
+                   std::to_string(r.server.value()),
+                   std::to_string(r.shuffle_done.seconds()),
+                   std::to_string(r.finished.seconds()),
+                   std::to_string(r.shuffled.count())});
+  }
+  for (const auto& f : result.fetches) {
+    csv.write_row({f.remote ? "fetch-remote" : "fetch-local",
+                   std::to_string(f.map_index) + ">" +
+                       std::to_string(f.reduce_index),
+                   std::to_string(f.src_server.value()),
+                   std::to_string(f.dst_server.value()),
+                   std::to_string(f.started.seconds()),
+                   std::to_string(f.completed.seconds()),
+                   std::to_string(f.payload.count())});
+  }
+}
+
+void export_prediction_csv(
+    const std::vector<core::PredictionPoint>& predicted,
+    const std::vector<net::VolumePoint>& measured, const std::string& path) {
+  util::CsvWriter csv(path, {"t_seconds", "series", "cumulative_bytes"});
+  for (const auto& p : predicted) {
+    csv.write_row({std::to_string(p.at.seconds()), "predicted",
+                   std::to_string(p.cumulative.count())});
+  }
+  for (const auto& p : measured) {
+    csv.write_row({std::to_string(p.at.seconds()), "measured",
+                   std::to_string(p.cumulative.count())});
+  }
+}
+
+}  // namespace pythia::viz

@@ -1,0 +1,25 @@
+// CSV export of job timelines and prediction/measurement curves, for
+// plotting the paper's figures with external tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/prediction.hpp"
+#include "hadoop/job.hpp"
+#include "net/netflow.hpp"
+
+namespace pythia::viz {
+
+/// Writes one row per task span and per fetch: kind, index, server(s),
+/// start/end seconds, bytes.
+void export_timeline_csv(const hadoop::JobResult& result,
+                         const std::string& path);
+
+/// Writes the Fig. 5 data: two aligned cumulative curves (predicted and
+/// NetFlow-measured) for one source server. Rows: t_seconds, series, bytes.
+void export_prediction_csv(
+    const std::vector<core::PredictionPoint>& predicted,
+    const std::vector<net::VolumePoint>& measured, const std::string& path);
+
+}  // namespace pythia::viz

@@ -1,0 +1,123 @@
+#include "workloads/hibench.hpp"
+
+namespace pythia::workloads {
+
+using util::Bytes;
+using util::BitsPerSec;
+using util::Duration;
+
+hadoop::JobSpec sort_job(Bytes input, std::size_t reducers,
+                         double zipf_skew) {
+  hadoop::JobSpec spec;
+  spec.name = "sort";
+  spec.input = input;
+  spec.block = Bytes{256 * 1000 * 1000};
+  spec.num_reducers = reducers;
+  spec.map_output_ratio = 1.0;  // identity transform: everything shuffles
+  spec.skew = hadoop::PartitionSkew::zipf(zipf_skew);
+  spec.map_overhead = Duration::millis(800);
+  spec.map_rate = BitsPerSec{8e8};     // 100 MB/s of input per map task
+  spec.reduce_overhead = Duration::millis(1200);
+  spec.reduce_rate = BitsPerSec{9.6e8};  // 120 MB/s of merged input
+  return spec;
+}
+
+hadoop::JobSpec paper_sort(std::size_t reducers) {
+  return sort_job(Bytes{240LL * 1000 * 1000 * 1000}, reducers, 0.5);
+}
+
+hadoop::JobSpec nutch_indexing(std::size_t pages, std::size_t reducers,
+                               Bytes bytes_per_page) {
+  hadoop::JobSpec spec;
+  spec.name = "nutch-indexing";
+  spec.input = Bytes{static_cast<std::int64_t>(pages) * bytes_per_page.count()};
+  spec.block = Bytes{64 * 1000 * 1000};
+  spec.num_reducers = reducers;
+  // Lucene-style inverted-index construction expands the data (postings,
+  // positions, link text) before the reduce-side index merge.
+  spec.map_output_ratio = 4.0;
+  spec.skew = hadoop::PartitionSkew::zipf(0.4);
+  // Parsing/tokenizing dominates: maps crunch input slowly, which is what
+  // makes Nutch completion insensitive to extra network capacity once the
+  // shuffle is well placed (paper Fig. 3).
+  spec.map_overhead = Duration::millis(1500);
+  spec.map_rate = BitsPerSec{4.8e6 * 8};  // ~4.8 MB/s of raw pages per task
+  spec.reduce_overhead = Duration::millis(2000);
+  spec.reduce_rate = BitsPerSec{4e8};  // 50 MB/s of index merge
+  return spec;
+}
+
+hadoop::JobSpec paper_nutch(std::size_t reducers) {
+  return nutch_indexing(5'000'000, reducers);
+}
+
+hadoop::JobSpec integer_sort_60g(std::size_t reducers) {
+  auto spec = sort_job(Bytes{60LL * 1000 * 1000 * 1000}, reducers, 0.5);
+  spec.name = "integer-sort-60g";
+  return spec;
+}
+
+hadoop::JobSpec wordcount(Bytes input, std::size_t reducers) {
+  hadoop::JobSpec spec;
+  spec.name = "wordcount";
+  spec.input = input;
+  spec.block = Bytes{128 * 1000 * 1000};
+  spec.num_reducers = reducers;
+  // Map-side combining collapses most duplicates before the shuffle.
+  spec.map_output_ratio = 0.25;
+  spec.skew = hadoop::PartitionSkew::zipf(1.0);  // natural-language keys
+  spec.map_overhead = Duration::millis(900);
+  spec.map_rate = BitsPerSec{4e8};  // tokenization-bound, 50 MB/s
+  spec.reduce_overhead = Duration::millis(1000);
+  spec.reduce_rate = BitsPerSec{8e8};
+  return spec;
+}
+
+hadoop::JobSpec terasort(Bytes input, std::size_t reducers) {
+  hadoop::JobSpec spec;
+  spec.name = "terasort";
+  spec.input = input;
+  spec.block = Bytes{256 * 1000 * 1000};
+  spec.num_reducers = reducers;
+  spec.map_output_ratio = 1.0;
+  spec.skew = hadoop::PartitionSkew::uniform();  // sampled range partitioner
+  spec.map_overhead = Duration::millis(700);
+  spec.map_rate = BitsPerSec{9.6e8};
+  spec.reduce_overhead = Duration::millis(1200);
+  spec.reduce_rate = BitsPerSec{9.6e8};
+  return spec;
+}
+
+hadoop::JobSpec pagerank_iteration(Bytes edges, std::size_t reducers) {
+  hadoop::JobSpec spec;
+  spec.name = "pagerank-iteration";
+  spec.input = edges;
+  spec.block = Bytes{128 * 1000 * 1000};
+  spec.num_reducers = reducers;
+  spec.map_output_ratio = 1.1;  // rank contributions along every edge
+  spec.skew = hadoop::PartitionSkew::zipf(0.8);  // power-law in-degrees
+  spec.map_overhead = Duration::millis(800);
+  spec.map_rate = BitsPerSec{6.4e8};
+  spec.reduce_overhead = Duration::millis(1200);
+  spec.reduce_rate = BitsPerSec{6.4e8};
+  return spec;
+}
+
+hadoop::JobSpec toy_skewed_sort() {
+  hadoop::JobSpec spec;
+  spec.name = "toy-sort";
+  spec.input = Bytes{900 * 1000 * 1000};
+  spec.num_maps_override = 3;
+  spec.num_reducers = 2;
+  spec.map_output_ratio = 1.0;
+  // Fig. 1a: reducer-0 receives 5x the data of reducer-1.
+  spec.skew = hadoop::PartitionSkew::explicit_weights({5.0, 1.0});
+  spec.mapper_output_jitter = 0.02;
+  spec.map_overhead = Duration::millis(800);
+  spec.map_rate = BitsPerSec{8e8};
+  spec.reduce_overhead = Duration::millis(1000);
+  spec.reduce_rate = BitsPerSec{8e8};
+  return spec;
+}
+
+}  // namespace pythia::workloads

@@ -1,0 +1,53 @@
+// HiBench-like workload specifications.
+//
+// The paper evaluates two network-intensive HiBench benchmarks — Sort
+// (240 GB input) and Nutch indexing (5M pages, 8 GB input) — and uses a
+// 60 GB integer sort for the prediction-efficacy study. These generators
+// encode the traits that matter to shuffle-phase behaviour: shuffle volume
+// per input byte, number/size of shuffle flows (Nutch creates many smaller
+// flows than Sort, which the paper credits for its higher optimization
+// headroom), key skew, and the compute-to-I/O balance.
+#pragma once
+
+#include <cstddef>
+
+#include "hadoop/config.hpp"
+#include "util/units.hpp"
+
+namespace pythia::workloads {
+
+/// HiBench Sort: identity map/reduce over KV records; shuffle volume equals
+/// input volume. Representative of data transformation jobs.
+hadoop::JobSpec sort_job(util::Bytes input, std::size_t reducers,
+                         double zipf_skew = 0.5);
+
+/// The paper's headline Sort configuration (240 GB).
+hadoop::JobSpec paper_sort(std::size_t reducers = 20);
+
+/// Nutch indexing: CPU-heavy map (document parsing), inverted-index shuffle
+/// with volume expansion and many relatively small flows.
+hadoop::JobSpec nutch_indexing(std::size_t pages, std::size_t reducers,
+                               util::Bytes bytes_per_page = util::Bytes{1600});
+
+/// The paper's Nutch configuration (5M pages, ~8 GB input).
+hadoop::JobSpec paper_nutch(std::size_t reducers = 24);
+
+/// The 60 GB integer sort used for the Fig. 5 prediction-efficacy study.
+hadoop::JobSpec integer_sort_60g(std::size_t reducers = 10);
+
+/// WordCount: heavy map-side reduction (combiners), low shuffle ratio,
+/// strongly skewed keys (natural-language Zipf).
+hadoop::JobSpec wordcount(util::Bytes input, std::size_t reducers);
+
+/// TeraSort-like: uniform synthetic keys, balanced partitions.
+hadoop::JobSpec terasort(util::Bytes input, std::size_t reducers);
+
+/// One PageRank-style iteration: shuffle volume ≈ edge data, moderate skew
+/// (power-law degree distribution).
+hadoop::JobSpec pagerank_iteration(util::Bytes edges, std::size_t reducers);
+
+/// The Fig. 1a toy job: 3 maps, 2 reducers, reducer-0 receiving 5x the
+/// volume of reducer-1.
+hadoop::JobSpec toy_skewed_sort();
+
+}  // namespace pythia::workloads

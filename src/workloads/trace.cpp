@@ -1,0 +1,54 @@
+#include "workloads/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "workloads/hibench.hpp"
+
+namespace pythia::workloads {
+
+std::vector<TraceEntry> generate_trace(const TraceConfig& cfg,
+                                       std::uint64_t seed) {
+  assert(cfg.jobs > 0);
+  assert(cfg.max_input >= cfg.min_input);
+  assert(cfg.max_reducers >= cfg.min_reducers);
+  util::Xoshiro256 rng(util::derive_seed(seed, 0x7ace));
+
+  std::vector<TraceEntry> trace;
+  trace.reserve(cfg.jobs);
+  double clock_s = 0.0;
+  const double log_lo = std::log(cfg.min_input.as_double());
+  const double log_hi = std::log(cfg.max_input.as_double());
+
+  for (std::size_t i = 0; i < cfg.jobs; ++i) {
+    clock_s += rng.exponential(cfg.mean_interarrival.seconds());
+
+    const util::Bytes input{static_cast<std::int64_t>(
+        std::exp(rng.uniform(log_lo, log_hi)))};
+    const auto reducers =
+        cfg.min_reducers +
+        static_cast<std::size_t>(
+            rng.below(cfg.max_reducers - cfg.min_reducers + 1));
+
+    hadoop::JobSpec spec;
+    if (rng.uniform01() < cfg.shuffle_heavy_fraction) {
+      // Shuffle-heavy class: sort/index-style transformation.
+      spec = sort_job(input, reducers, rng.uniform(0.2, 0.9));
+      spec.name = "trace-sort-" + std::to_string(i);
+    } else {
+      // Aggregation class: combiner-reduced shuffle.
+      spec = wordcount(input, reducers);
+      spec.name = "trace-agg-" + std::to_string(i);
+    }
+    trace.push_back(TraceEntry{std::move(spec),
+                               util::SimTime::from_seconds(clock_s)});
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const TraceEntry& a, const TraceEntry& b) {
+              return a.submit_at < b.submit_at;
+            });
+  return trace;
+}
+
+}  // namespace pythia::workloads

@@ -1,0 +1,44 @@
+// Synthetic job-trace generation.
+//
+// The paper motivates Pythia with an analysis of Facebook MapReduce traces
+// in which "33% of the execution time of a large number of jobs is spent at
+// the shuffle phase". Real traces are proprietary; this generator produces a
+// statistically similar mix: heavy-tailed input sizes (most jobs small, a
+// few huge — the well-documented shape of production MR traces), a mix of
+// shuffle-light and shuffle-heavy job classes, and Poisson arrivals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hadoop/config.hpp"
+#include "util/random.hpp"
+#include "util/time.hpp"
+
+namespace pythia::workloads {
+
+struct TraceConfig {
+  std::size_t jobs = 20;
+  /// Mean inter-arrival gap (Poisson process).
+  util::Duration mean_interarrival = util::Duration::seconds_i(30);
+  /// Input sizes are log-uniform between these bounds (heavy-tailed mix of
+  /// small and large jobs).
+  util::Bytes min_input = util::Bytes{500LL * 1000 * 1000};
+  util::Bytes max_input = util::Bytes{64LL * 1000 * 1000 * 1000};
+  /// Fraction of shuffle-heavy (sort/index-like) jobs; the rest are
+  /// aggregation-style jobs with small shuffle ratios.
+  double shuffle_heavy_fraction = 0.5;
+  std::size_t min_reducers = 4;
+  std::size_t max_reducers = 24;
+};
+
+struct TraceEntry {
+  hadoop::JobSpec spec;
+  util::SimTime submit_at;
+};
+
+/// Deterministic trace for a seed; entries sorted by submit time.
+std::vector<TraceEntry> generate_trace(const TraceConfig& cfg,
+                                       std::uint64_t seed);
+
+}  // namespace pythia::workloads

@@ -1,0 +1,179 @@
+#include "core/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+#include "sdn/controller.hpp"
+#include "sim/simulation.hpp"
+
+namespace pythia::core {
+namespace {
+
+using net::NodeId;
+using util::BitsPerSec;
+using util::Bytes;
+
+struct Fixture {
+  net::Topology topo = net::make_two_rack({});
+  sim::Simulation sim;
+  net::Fabric fabric{sim, topo};
+  sdn::Controller controller{sim, fabric, topo};
+  NodeId s0, s1, d0, d1;
+
+  Fixture() {
+    const auto hosts = topo.hosts();
+    s0 = hosts[0];
+    s1 = hosts[1];
+    d0 = hosts[9];
+    d1 = hosts[8];
+  }
+
+  /// CBR on inter-rack path `idx` between s0 and d0.
+  void load_path(std::size_t idx, double bps) {
+    const auto& paths = controller.routing().paths(s0, d0);
+    std::vector<net::LinkId> chain{paths[idx].links.begin() + 1,
+                                   paths[idx].links.end() - 1};
+    fabric.start_cbr(chain, BitsPerSec{bps});
+  }
+};
+
+TEST(Allocator, AvoidsBackgroundLoadedPath) {
+  Fixture f;
+  f.load_path(0, 9.5e9);  // path 0 nearly dead
+  Allocator alloc(f.controller);
+
+  alloc.add_predicted_volume(f.s0, f.d0, Bytes{100'000'000});
+  f.sim.run();  // let the rule activate
+  const auto* rule = f.controller.active_rule(f.s0, f.d0);
+  ASSERT_NE(rule, nullptr);
+  const auto& paths = f.controller.routing().paths(f.s0, f.d0);
+  EXPECT_EQ(rule->path.links, paths[1].links);
+  EXPECT_EQ(alloc.allocations(), 1u);
+}
+
+TEST(Allocator, PacksSecondAggregateAwayFromFirst) {
+  // Clean network: the only differentiation is the allocator's own
+  // outstanding-intent bookkeeping. Two equal aggregates between disjoint
+  // host pairs must land on different inter-rack paths.
+  Fixture f;
+  Allocator alloc(f.controller);
+  alloc.add_predicted_volume(f.s0, f.d0, Bytes{1'000'000'000});
+  alloc.add_predicted_volume(f.s1, f.d1, Bytes{1'000'000'000});
+  f.sim.run();
+
+  const auto* r0 = f.controller.active_rule(f.s0, f.d0);
+  const auto* r1 = f.controller.active_rule(f.s1, f.d1);
+  ASSERT_NE(r0, nullptr);
+  ASSERT_NE(r1, nullptr);
+  // Compare the inter-rack segment (middle hops differ iff paths differ).
+  EXPECT_NE(r0->path.links[1], r1->path.links[1]);
+}
+
+TEST(Allocator, LinkOutstandingBookkeeping) {
+  Fixture f;
+  Allocator alloc(f.controller);
+  alloc.add_predicted_volume(f.s0, f.d0, Bytes{500});
+  const auto* agg_rule_path = &f.controller.routing().paths(f.s0, f.d0);
+  (void)agg_rule_path;
+  EXPECT_EQ(alloc.pair_outstanding(f.s0, f.d0).count(), 500);
+
+  // Outstanding shows up on every link of the chosen path.
+  std::int64_t links_with_volume = 0;
+  for (const auto& link : f.topo.links()) {
+    if (alloc.link_outstanding(link.id).count() > 0) {
+      EXPECT_EQ(alloc.link_outstanding(link.id).count(), 500);
+      ++links_with_volume;
+    }
+  }
+  EXPECT_EQ(links_with_volume, 4);  // host->tor->wire->tor->host
+
+  alloc.retire_volume(f.s0, f.d0, Bytes{200});
+  EXPECT_EQ(alloc.pair_outstanding(f.s0, f.d0).count(), 300);
+  alloc.retire_volume(f.s0, f.d0, Bytes{10'000});  // clamps at zero
+  EXPECT_EQ(alloc.pair_outstanding(f.s0, f.d0).count(), 0);
+  for (const auto& link : f.topo.links()) {
+    EXPECT_EQ(alloc.link_outstanding(link.id).count(), 0);
+  }
+}
+
+TEST(Allocator, RetireUnknownPairIsNoop) {
+  Fixture f;
+  Allocator alloc(f.controller);
+  alloc.retire_volume(f.s0, f.d0, Bytes{100});  // nothing predicted
+  EXPECT_EQ(alloc.pair_outstanding(f.s0, f.d0).count(), 0);
+}
+
+TEST(Allocator, DrainedAggregateReallocatesAgainstNewState) {
+  Fixture f;
+  Allocator alloc(f.controller);
+  // First round: clean network, allocator picks some path P.
+  alloc.add_predicted_volume(f.s0, f.d0, Bytes{1'000'000});
+  f.sim.run();
+  const auto first = f.controller.active_rule(f.s0, f.d0)->path;
+  alloc.retire_volume(f.s0, f.d0, Bytes{1'000'000});
+
+  // Background then floods P; the drained aggregate's next wave must move.
+  const auto& paths = f.controller.routing().paths(f.s0, f.d0);
+  const std::size_t loaded =
+      first.links == paths[0].links ? 0 : 1;
+  f.load_path(loaded, 9.9e9);
+  // Advance time so the controller's load snapshot refreshes.
+  f.sim.after(util::Duration::seconds_i(2), [] {});
+  f.sim.run();
+
+  alloc.add_predicted_volume(f.s0, f.d0, Bytes{1'000'000});
+  f.sim.run();
+  const auto second = f.controller.active_rule(f.s0, f.d0)->path;
+  EXPECT_NE(first.links, second.links);
+  EXPECT_GE(alloc.reallocations(), 1u);
+}
+
+TEST(Allocator, LoadBlindModeIgnoresBackground) {
+  Fixture f;
+  f.load_path(0, 9.9e9);
+  AllocatorConfig cfg;
+  cfg.load_aware = false;
+  Allocator alloc(f.controller, cfg);
+
+  // Load-blind packing considers only its own intents; with none yet, both
+  // paths score identically and the deterministic first candidate wins —
+  // even though path 0 is nearly dead. (This is the FlowComb-like arm.)
+  alloc.add_predicted_volume(f.s0, f.d0, Bytes{100'000'000});
+  f.sim.run();
+  const auto* rule = f.controller.active_rule(f.s0, f.d0);
+  ASSERT_NE(rule, nullptr);
+  const auto& paths = f.controller.routing().paths(f.s0, f.d0);
+  EXPECT_EQ(rule->path.links, paths[0].links);
+}
+
+TEST(Allocator, DrainTimeMath) {
+  Fixture f;
+  Allocator alloc(f.controller);
+  const auto& paths = f.controller.routing().paths(f.s0, f.d0);
+  // Clean path, 10 Gbps bottleneck: 1 GB (8 Gbit) drains in 0.8 s.
+  EXPECT_NEAR(alloc.drain_time_seconds(paths[0], Bytes{1'000'000'000}), 0.8,
+              1e-9);
+  // With 5 Gbps of background the same volume takes 1.6 s.
+  f.load_path(0, 5e9);
+  f.sim.after(util::Duration::seconds_i(2), [] {});
+  f.sim.run();
+  EXPECT_NEAR(alloc.drain_time_seconds(paths[0], Bytes{1'000'000'000}), 1.6,
+              1e-6);
+}
+
+TEST(Allocator, GrowingAggregateKeepsItsPath) {
+  Fixture f;
+  Allocator alloc(f.controller);
+  alloc.add_predicted_volume(f.s0, f.d0, Bytes{1'000'000});
+  f.sim.run();
+  const auto first = f.controller.active_rule(f.s0, f.d0)->path;
+  // More volume while still outstanding: first-fit sticks to the path.
+  alloc.add_predicted_volume(f.s0, f.d0, Bytes{2'000'000});
+  f.sim.run();
+  EXPECT_EQ(f.controller.active_rule(f.s0, f.d0)->path.links, first.links);
+  EXPECT_EQ(alloc.pair_outstanding(f.s0, f.d0).count(), 3'000'000);
+  EXPECT_EQ(alloc.reallocations(), 0u);
+}
+
+}  // namespace
+}  // namespace pythia::core

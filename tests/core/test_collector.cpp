@@ -1,0 +1,145 @@
+#include "core/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/allocator.hpp"
+#include "net/fabric.hpp"
+#include "sdn/controller.hpp"
+#include "sim/simulation.hpp"
+
+namespace pythia::core {
+namespace {
+
+using net::NodeId;
+using util::Bytes;
+using util::Duration;
+
+struct Fixture {
+  net::Topology topo = net::make_two_rack({});
+  sim::Simulation sim;
+  net::Fabric fabric{sim, topo};
+  sdn::Controller controller{sim, fabric, topo};
+  Allocator allocator{controller};
+  Collector collector{sim, allocator};
+  NodeId src, dst_remote, dst_local;
+
+  Fixture() {
+    const auto hosts = topo.hosts();
+    src = hosts[0];
+    dst_local = hosts[0];
+    dst_remote = hosts[9];
+  }
+
+  ShuffleIntent intent(std::size_t reduce_index, std::int64_t bytes) {
+    ShuffleIntent i;
+    i.job_serial = 0;
+    i.map_index = 0;
+    i.reduce_index = reduce_index;
+    i.src_server = src;
+    i.predicted_wire_bytes = Bytes{bytes};
+    i.emitted_at = sim.now();
+    return i;
+  }
+};
+
+TEST(Collector, HoldsIntentUntilReducerLocated) {
+  Fixture f;
+  f.collector.ingest(f.intent(0, 1'000'000));
+  EXPECT_EQ(f.collector.intents_received(), 1u);
+  EXPECT_EQ(f.collector.intents_held_for_reducer(), 1u);
+  f.sim.run();
+  // Nothing allocated: destination still unknown.
+  EXPECT_EQ(f.allocator.allocations(), 0u);
+
+  f.collector.reducer_located(0, 0, f.dst_remote);
+  f.sim.run();
+  EXPECT_EQ(f.allocator.allocations(), 1u);
+  EXPECT_EQ(f.allocator.pair_outstanding(f.src, f.dst_remote).count(),
+            1'000'000);
+}
+
+TEST(Collector, KnownReducerAllocatesAfterBatchWindow) {
+  Fixture f;
+  f.collector.reducer_located(0, 0, f.dst_remote);
+  f.collector.ingest(f.intent(0, 2'000'000));
+  EXPECT_EQ(f.allocator.allocations(), 0u);  // batched, not yet flushed
+  f.sim.run();
+  EXPECT_EQ(f.collector.batches_flushed(), 1u);
+  EXPECT_EQ(f.allocator.allocations(), 1u);
+}
+
+TEST(Collector, LocalDestinationIsDropped) {
+  Fixture f;
+  f.collector.reducer_located(0, 0, f.dst_local);
+  f.collector.ingest(f.intent(0, 5'000'000));
+  f.sim.run();
+  EXPECT_EQ(f.allocator.allocations(), 0u);
+  EXPECT_EQ(f.collector.aggregate_count(), 0u);
+  EXPECT_TRUE(f.collector.predicted_curve(f.src).empty());
+}
+
+TEST(Collector, BatchAggregatesSamePair) {
+  Fixture f;
+  f.collector.reducer_located(0, 0, f.dst_remote);
+  f.collector.ingest(f.intent(0, 1'000'000));
+  f.collector.ingest(f.intent(0, 2'000'000));
+  f.collector.ingest(f.intent(0, 3'000'000));
+  f.sim.run();
+  // One aggregate, one allocation, summed volume.
+  EXPECT_EQ(f.allocator.allocations(), 1u);
+  EXPECT_EQ(f.allocator.pair_outstanding(f.src, f.dst_remote).count(),
+            6'000'000);
+  EXPECT_EQ(f.collector.aggregate_count(), 1u);
+}
+
+TEST(Collector, PredictedCurveAccumulatesRemoteOnly) {
+  Fixture f;
+  f.collector.reducer_located(0, 0, f.dst_remote);
+  f.collector.reducer_located(0, 1, f.dst_local);
+  f.collector.ingest(f.intent(0, 1'000'000));
+  f.collector.ingest(f.intent(1, 9'000'000));  // local -> excluded
+  f.sim.run();
+  const auto& curve = f.collector.predicted_curve(f.src);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_EQ(curve.back().cumulative.count(), 1'000'000);
+}
+
+TEST(Collector, FetchCompletionRetiresVolume) {
+  Fixture f;
+  f.collector.reducer_located(0, 0, f.dst_remote);
+  f.collector.ingest(f.intent(0, 10'000'000));
+  f.sim.run();
+  const auto before = f.allocator.pair_outstanding(f.src, f.dst_remote);
+  ASSERT_EQ(before.count(), 10'000'000);
+
+  // A fetch of ~half the payload completes (the collector re-applies the
+  // same overhead model used at prediction time).
+  f.collector.fetch_completed(f.src, f.dst_remote, Bytes{4'700'000});
+  const auto after = f.allocator.pair_outstanding(f.src, f.dst_remote);
+  EXPECT_LT(after, before);
+  EXPECT_GT(after.count(), 0);
+
+  // Local completions are ignored.
+  f.collector.fetch_completed(f.src, f.src, Bytes{4'700'000});
+  EXPECT_EQ(f.allocator.pair_outstanding(f.src, f.dst_remote), after);
+}
+
+TEST(Collector, MultipleJobsKeepReducerNamespacesApart) {
+  Fixture f;
+  // Job 0 reducer 0 is remote; job 1 reducer 0 is local.
+  f.collector.reducer_located(0, 0, f.dst_remote);
+  f.collector.reducer_located(1, 0, f.dst_local);
+
+  ShuffleIntent j1 = f.intent(0, 1'000'000);
+  j1.job_serial = 1;
+  f.collector.ingest(j1);  // must hit the local mapping -> dropped
+  f.sim.run();
+  EXPECT_EQ(f.allocator.allocations(), 0u);
+
+  f.collector.ingest(f.intent(0, 1'000'000));  // job 0 -> remote
+  f.sim.run();
+  EXPECT_EQ(f.allocator.allocations(), 1u);
+}
+
+}  // namespace
+}  // namespace pythia::core

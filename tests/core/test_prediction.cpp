@@ -1,0 +1,49 @@
+#include "core/prediction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pythia::core {
+namespace {
+
+TEST(OverheadModel, FactorIsConservative) {
+  const ProtocolOverheadModel model;
+  // The instrumentation must over-estimate (never lag the wire): factor > 1,
+  // and in the paper's observed 3-7% band for the default parameters.
+  EXPECT_GT(model.factor(), 1.03);
+  EXPECT_LT(model.factor(), 1.07);
+}
+
+TEST(OverheadModel, PredictWireBytesScalesWithPayload) {
+  const ProtocolOverheadModel model;
+  const auto small = model.predict_wire_bytes(util::Bytes{1000});
+  const auto large = model.predict_wire_bytes(util::Bytes{1'000'000});
+  EXPECT_GT(small.count(), 1000);
+  EXPECT_GT(large.count(), 1'000'000);
+  // Relative overhead shrinks as the fixed HTTP framing amortizes.
+  const double small_rel = small.as_double() / 1000.0;
+  const double large_rel = large.as_double() / 1'000'000.0;
+  EXPECT_GT(small_rel, large_rel);
+  EXPECT_NEAR(large_rel, model.factor(), 0.001);
+}
+
+TEST(OverheadModel, ZeroPayload) {
+  const ProtocolOverheadModel model;
+  // An empty partition still costs the HTTP exchange.
+  EXPECT_GT(model.predict_wire_bytes(util::Bytes::zero()).count(), 0);
+}
+
+TEST(OverheadModel, CustomParameters) {
+  ProtocolOverheadModel model;
+  model.header_bytes_per_segment = 40.0;
+  model.assumed_mss = 1460.0;
+  EXPECT_NEAR(model.factor(), 1.0 + 40.0 / 1460.0, 1e-12);
+}
+
+TEST(IntentMessage, SizeGrowsWithReducerCount) {
+  EXPECT_GT(intent_message_bytes(10), intent_message_bytes(1));
+  EXPECT_EQ(intent_message_bytes(0).count(), 48);
+  EXPECT_EQ(intent_message_bytes(4).count(), 48 + 64);
+}
+
+}  // namespace
+}  // namespace pythia::core

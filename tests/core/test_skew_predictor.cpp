@@ -1,0 +1,123 @@
+#include "core/skew_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pythia_system.hpp"
+#include "test_fixtures.hpp"
+
+namespace pythia::core {
+namespace {
+
+using pythia::testing::TestCluster;
+using util::Bytes;
+
+ShuffleIntent intent(std::size_t job, std::size_t map, std::size_t reducer,
+                     std::int64_t bytes) {
+  ShuffleIntent i;
+  i.job_serial = job;
+  i.map_index = map;
+  i.reduce_index = reducer;
+  i.predicted_wire_bytes = Bytes{bytes};
+  return i;
+}
+
+TEST(SkewPredictor, NoDataNoEstimate) {
+  SkewPredictor p(0, 10, 4);
+  EXPECT_FALSE(p.has_estimate());
+  const auto e = p.estimate();
+  EXPECT_DOUBLE_EQ(e.skew_factor, 1.0);
+  EXPECT_DOUBLE_EQ(e.maps_observed_fraction, 0.0);
+}
+
+TEST(SkewPredictor, ExtrapolatesLinearly) {
+  SkewPredictor p(0, 10, 2);
+  // 2 of 10 maps seen, each sending 300/100 to reducers 0/1.
+  for (std::size_t m = 0; m < 2; ++m) {
+    p.ingest(intent(0, m, 0, 300));
+    p.ingest(intent(0, m, 1, 100));
+  }
+  EXPECT_EQ(p.maps_observed(), 2u);
+  const auto e = p.estimate();
+  EXPECT_DOUBLE_EQ(e.predicted_final_bytes[0], 3000.0);
+  EXPECT_DOUBLE_EQ(e.predicted_final_bytes[1], 1000.0);
+  EXPECT_DOUBLE_EQ(e.skew_factor, 1.5);  // 3000 / mean(2000)
+  EXPECT_EQ(e.hottest_reducer, 0u);
+  EXPECT_DOUBLE_EQ(e.maps_observed_fraction, 0.2);
+}
+
+TEST(SkewPredictor, IgnoresOtherJobsAndBadIndices) {
+  SkewPredictor p(7, 10, 2);
+  p.ingest(intent(3, 0, 0, 1000));   // wrong job
+  p.ingest(intent(7, 0, 99, 1000));  // reducer out of range
+  EXPECT_FALSE(p.has_estimate());
+}
+
+TEST(SkewPredictor, DuplicateMapIntentsCountOnce) {
+  SkewPredictor p(0, 4, 2);
+  p.ingest(intent(0, 1, 0, 100));
+  p.ingest(intent(0, 1, 1, 100));  // same map, other reducer
+  EXPECT_EQ(p.maps_observed(), 1u);
+}
+
+TEST(SkewPredictor, EarlyEstimateMatchesFinalSkewOnRealJob) {
+  // Attach alongside Pythia: after ~25% of maps, the extrapolated hottest
+  // reducer and skew factor must match the job's final reality.
+  TestCluster cluster(5);
+  hadoop::JobSpec spec = pythia::testing::small_job(40, 5);
+  spec.skew = hadoop::PartitionSkew::explicit_weights(
+      {5.0, 1.0, 1.0, 1.0, 1.0});
+  spec.mapper_output_jitter = 0.05;
+
+  SkewPredictor predictor(0, spec.num_maps(), spec.num_reducers);
+  SkewEstimate early;
+  bool early_taken = false;
+
+  struct Feeder final : hadoop::EngineObserver {
+    SkewPredictor* predictor;
+    SkewEstimate* early;
+    bool* taken;
+    std::size_t quarter;
+    ProtocolOverheadModel overhead;
+    void on_map_output_ready(const hadoop::MapOutputNotice& n) override {
+      for (std::size_t r = 0; r < n.per_reducer_payload.size(); ++r) {
+        ShuffleIntent i;
+        i.job_serial = n.job_serial;
+        i.map_index = n.map_index;
+        i.reduce_index = r;
+        i.predicted_wire_bytes =
+            overhead.predict_wire_bytes(n.per_reducer_payload[r]);
+        predictor->ingest(i);
+      }
+      if (!*taken && predictor->maps_observed() >= quarter) {
+        *early = predictor->estimate();
+        *taken = true;
+      }
+    }
+  } feeder;
+  feeder.predictor = &predictor;
+  feeder.early = &early;
+  feeder.taken = &early_taken;
+  feeder.quarter = spec.num_maps() / 4;
+  cluster.engine->add_observer(&feeder);
+
+  const auto result = cluster.run(spec);
+  ASSERT_TRUE(early_taken);
+  EXPECT_LE(early.maps_observed_fraction, 0.6);  // genuinely early
+
+  // Ground truth from the completed job.
+  const auto loads = result.reducer_load_profile();
+  const auto hottest = static_cast<std::size_t>(
+      std::max_element(loads.begin(), loads.end()) - loads.begin());
+  EXPECT_EQ(early.hottest_reducer, hottest);
+  EXPECT_NEAR(early.skew_factor, hadoop::skew_factor(loads), 0.35);
+
+  // Predicted totals within 15% per reducer (jitter averages out).
+  for (std::size_t r = 0; r < loads.size(); ++r) {
+    EXPECT_NEAR(early.predicted_final_bytes[r], loads[r] * 1.057,
+                loads[r] * 0.15)
+        << "reducer " << r;
+  }
+}
+
+}  // namespace
+}  // namespace pythia::core

@@ -1,0 +1,58 @@
+#include "experiments/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+
+namespace pythia::exp {
+namespace {
+
+using pythia::testing::TestCluster;
+using pythia::testing::small_job;
+
+TEST(Metrics, BasicShapesFromRealJob) {
+  TestCluster cluster;
+  const auto result = cluster.run(small_job(10, 4));
+  const ShuffleMetrics m = compute_shuffle_metrics(result);
+
+  EXPECT_EQ(m.queueing_seconds.count(), 40u);
+  EXPECT_EQ(m.transfer_seconds.count(), 40u);
+  EXPECT_GT(m.goodput_bps.count(), 0u);
+  EXPECT_EQ(m.reducer_shuffle_done_seconds.count(), 4u);
+  EXPECT_GE(m.reducer_volume_fairness, 0.0);
+  EXPECT_LE(m.reducer_volume_fairness, 1.0);
+  EXPECT_GE(m.shuffle_spread_seconds, 0.0);
+  EXPECT_GT(m.aggregate_shuffle_goodput_bps, 0.0);
+  // Queueing and transfer are non-negative everywhere.
+  EXPECT_GE(m.queueing_seconds.min(), 0.0);
+  EXPECT_GE(m.transfer_seconds.min(), 0.0);
+  // Goodput can never exceed the NIC rate.
+  EXPECT_LE(m.goodput_bps.max(), 10e9 + 1.0);
+}
+
+TEST(Metrics, UniformJobIsFairerThanSkewed) {
+  TestCluster a(1);
+  hadoop::JobSpec uniform = small_job(12, 6);
+  uniform.skew = hadoop::PartitionSkew::uniform();
+  const auto mu = compute_shuffle_metrics(a.run(uniform));
+
+  TestCluster b(1);
+  hadoop::JobSpec skewed = small_job(12, 6);
+  skewed.skew = hadoop::PartitionSkew::zipf(1.5);
+  const auto ms = compute_shuffle_metrics(b.run(skewed));
+
+  EXPECT_GT(mu.reducer_volume_fairness, ms.reducer_volume_fairness);
+}
+
+TEST(Metrics, EmptyJobIsSafe) {
+  hadoop::JobResult empty;
+  empty.submitted = util::SimTime::zero();
+  empty.completed = util::SimTime::from_seconds(1.0);
+  const ShuffleMetrics m = compute_shuffle_metrics(empty);
+  EXPECT_EQ(m.queueing_seconds.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.shuffle_spread_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(m.aggregate_shuffle_goodput_bps, 0.0);
+}
+
+}  // namespace
+}  // namespace pythia::exp

@@ -1,0 +1,99 @@
+// HDFS output write-back modelling (off by default; the paper's evaluation
+// view omits DFS phases).
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+
+namespace pythia::hadoop {
+namespace {
+
+using pythia::testing::TestCluster;
+using pythia::testing::small_job;
+
+TEST(DfsOutput, DisabledByDefault) {
+  TestCluster cluster;
+  const auto result = cluster.run(small_job(8, 4));
+  // Network traffic == remote shuffle payload only.
+  EXPECT_EQ(cluster.fabric->bytes_delivered().count(),
+            result.remote_shuffle_bytes().count());
+}
+
+TEST(DfsOutput, ReplicationAddsNetworkTraffic) {
+  TestCluster cluster;
+  JobSpec spec = small_job(8, 4);
+  spec.dfs_replication = 3;
+  spec.output_ratio = 1.0;
+  spec.mapper_output_jitter = 0.0;
+  const auto result = cluster.run(spec);
+  // Each reducer writes (replication - 1) remote copies of its output.
+  const auto expected_writes =
+      result.total_shuffle_bytes().count() * 2;  // output_ratio 1, 2 remotes
+  const auto write_bytes = cluster.fabric->bytes_delivered().count() -
+                           result.remote_shuffle_bytes().count();
+  EXPECT_NEAR(static_cast<double>(write_bytes),
+              static_cast<double>(expected_writes),
+              static_cast<double>(expected_writes) * 0.01);
+}
+
+TEST(DfsOutput, ExtendsJobCompletion) {
+  JobSpec spec = small_job(8, 4);
+  spec.reduce_rate = util::BitsPerSec{80e9};  // make writes the tail
+
+  TestCluster without(2);
+  const double base = without.run(spec).completion_time().seconds();
+
+  spec.dfs_replication = 3;
+  TestCluster with(2);
+  const double with_writes = with.run(spec).completion_time().seconds();
+  EXPECT_GT(with_writes, base);
+}
+
+TEST(DfsOutput, OutputRatioScalesWrites) {
+  JobSpec spec = small_job(8, 4);
+  spec.dfs_replication = 2;
+  spec.mapper_output_jitter = 0.0;
+
+  spec.output_ratio = 0.1;  // aggregation-style contraction
+  TestCluster small_out(3);
+  const auto r_small = small_out.run(spec);
+  const auto small_writes = small_out.fabric->bytes_delivered().count() -
+                            r_small.remote_shuffle_bytes().count();
+
+  spec.output_ratio = 1.0;
+  TestCluster big_out(3);
+  const auto r_big = big_out.run(spec);
+  const auto big_writes = big_out.fabric->bytes_delivered().count() -
+                          r_big.remote_shuffle_bytes().count();
+  EXPECT_NEAR(static_cast<double>(big_writes) / 10.0,
+              static_cast<double>(small_writes),
+              static_cast<double>(small_writes) * 0.1);
+}
+
+TEST(DfsOutput, WritesAreNotShuffleClass) {
+  // Pythia must ignore DFS writes (it only predicts shuffle flows); assert
+  // the class split on the wire.
+  TestCluster cluster;
+  struct ClassTally final : net::FabricObserver {
+    std::int64_t shuffle = 0;
+    std::int64_t other = 0;
+    void on_flow_completed(const net::Fabric& fabric, net::FlowId id,
+                           util::SimTime) override {
+      const auto& f = fabric.flow(id);
+      if (f.spec.cls == net::FlowClass::kShuffle) {
+        shuffle += f.spec.size.count();
+      } else {
+        other += f.spec.size.count();
+      }
+    }
+  } tally;
+  cluster.fabric->add_observer(&tally);
+
+  JobSpec spec = small_job(8, 4);
+  spec.dfs_replication = 2;
+  const auto result = cluster.run(spec);
+  EXPECT_EQ(tally.shuffle, result.remote_shuffle_bytes().count());
+  EXPECT_GT(tally.other, 0);
+}
+
+}  // namespace
+}  // namespace pythia::hadoop

@@ -1,0 +1,322 @@
+#include "hadoop/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "test_fixtures.hpp"
+
+namespace pythia::hadoop {
+namespace {
+
+using pythia::testing::TestCluster;
+using pythia::testing::small_job;
+using util::Bytes;
+using util::SimTime;
+
+TEST(Engine, SmallJobCompletes) {
+  TestCluster cluster;
+  const JobResult result = cluster.run(small_job());
+  EXPECT_EQ(result.maps.size(), 6u);
+  EXPECT_EQ(result.reducers.size(), 4u);
+  EXPECT_GT(result.completion_time().seconds(), 0.0);
+  EXPECT_EQ(cluster.engine->jobs_completed(), 1u);
+}
+
+TEST(Engine, TaskSpansAreOrdered) {
+  TestCluster cluster;
+  const JobResult result = cluster.run(small_job(12, 5));
+  for (const auto& m : result.maps) {
+    EXPECT_GE(m.started, result.submitted);
+    EXPECT_GT(m.finished, m.started);
+  }
+  for (const auto& r : result.reducers) {
+    EXPECT_GE(r.started, result.submitted);
+    EXPECT_GE(r.shuffle_done, r.started);
+    EXPECT_GT(r.finished, r.shuffle_done);
+    EXPECT_LE(r.finished, result.completed);
+  }
+}
+
+TEST(Engine, EveryFetchPairAppearsExactlyOnce) {
+  TestCluster cluster;
+  const std::size_t maps = 8;
+  const std::size_t reducers = 3;
+  const JobResult result = cluster.run(small_job(maps, reducers));
+  EXPECT_EQ(result.fetches.size(), maps * reducers);
+  std::map<std::pair<std::size_t, std::size_t>, int> seen;
+  for (const auto& f : result.fetches) {
+    ++seen[{f.map_index, f.reduce_index}];
+  }
+  EXPECT_EQ(seen.size(), maps * reducers);
+  for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Engine, ShuffleBytesConservation) {
+  // Total fetched payload equals total map output, and per-reducer sums
+  // match the reducer records.
+  TestCluster cluster;
+
+  struct OutputTally final : EngineObserver {
+    std::int64_t total = 0;
+    void on_map_output_ready(const MapOutputNotice& n) override {
+      for (const auto b : n.per_reducer_payload) total += b.count();
+    }
+  } tally;
+  cluster.engine->add_observer(&tally);
+
+  const JobResult result = cluster.run(small_job(10, 4));
+  std::int64_t fetched = 0;
+  std::vector<std::int64_t> per_reducer(4, 0);
+  for (const auto& f : result.fetches) {
+    fetched += f.payload.count();
+    per_reducer[f.reduce_index] += f.payload.count();
+  }
+  EXPECT_EQ(fetched, tally.total);
+  for (const auto& r : result.reducers) {
+    EXPECT_EQ(r.shuffled.count(), per_reducer[r.index]);
+  }
+  EXPECT_EQ(result.total_shuffle_bytes().count(), fetched);
+}
+
+TEST(Engine, RemoteFetchesCrossRacksLocalOnesDoNot) {
+  TestCluster cluster;
+  const JobResult result = cluster.run(small_job(10, 4));
+  bool saw_remote = false;
+  bool saw_local = false;
+  for (const auto& f : result.fetches) {
+    EXPECT_EQ(f.remote, f.src_server != f.dst_server);
+    saw_remote |= f.remote;
+    saw_local |= !f.remote;
+  }
+  EXPECT_TRUE(saw_remote);
+  EXPECT_TRUE(saw_local);
+  // Remote bytes strictly less than total (some mapper shares a server with
+  // some reducer on a 10-server cluster with 10 maps x 4 reducers).
+  EXPECT_LT(result.remote_shuffle_bytes(), result.total_shuffle_bytes());
+}
+
+TEST(Engine, SlowstartGatesReducerLaunch) {
+  hadoop::ClusterConfig cluster_cfg;
+  cluster_cfg.reduce_slowstart = 0.5;  // half the maps must finish first
+  TestCluster cluster(1, {}, cluster_cfg);
+  const JobResult result = cluster.run(small_job(10, 2));
+
+  // Order map finish times; reducers must start after the 5th map finish.
+  std::vector<SimTime> finishes;
+  for (const auto& m : result.maps) finishes.push_back(m.finished);
+  std::sort(finishes.begin(), finishes.end());
+  const SimTime gate = finishes[4];
+  for (const auto& r : result.reducers) {
+    EXPECT_GE(r.started, gate);
+  }
+}
+
+TEST(Engine, ParallelCopiesBounded) {
+  hadoop::ClusterConfig cluster_cfg;
+  cluster_cfg.parallel_copies = 2;
+  TestCluster cluster(1, {}, cluster_cfg);
+
+  // Track per-reducer concurrent fetch counts via observer events.
+  struct ConcurrencyTracker final : EngineObserver {
+    std::map<std::size_t, int> inflight;
+    std::map<std::size_t, int> peak;
+    void on_fetch_started(std::size_t, const FetchRecord& f,
+                          net::FlowId) override {
+      peak[f.reduce_index] = std::max(peak[f.reduce_index],
+                                      ++inflight[f.reduce_index]);
+    }
+    void on_fetch_completed(std::size_t, const FetchRecord& f) override {
+      --inflight[f.reduce_index];
+    }
+  } tracker;
+  cluster.engine->add_observer(&tracker);
+
+  cluster.run(small_job(16, 3));
+  for (const auto& [reducer, peak] : tracker.peak) {
+    EXPECT_LE(peak, 2) << "reducer " << reducer;
+    EXPECT_GE(peak, 1);
+  }
+}
+
+TEST(Engine, ShuffleBarrierBeforeReduce) {
+  TestCluster cluster;
+  const JobResult result = cluster.run(small_job(10, 3));
+  for (const auto& r : result.reducers) {
+    // Every fetch of this reducer completed no later than shuffle_done.
+    for (const auto& f : result.fetches) {
+      if (f.reduce_index != r.index) continue;
+      EXPECT_LE(f.completed, r.shuffle_done);
+    }
+  }
+  // And the last map precedes every reducer's shuffle end.
+  for (const auto& r : result.reducers) {
+    EXPECT_GE(r.shuffle_done, result.map_phase_end());
+  }
+}
+
+TEST(Engine, MapSlotsRespected) {
+  net::TwoRackConfig topo_cfg;
+  topo_cfg.servers_per_rack = 1;  // 2 servers
+  hadoop::ClusterConfig cluster_cfg;
+  cluster_cfg.map_slots_per_server = 1;  // 2 concurrent maps max
+  cluster_cfg.heartbeat_jitter = util::Duration::zero();
+  TestCluster cluster(1, topo_cfg, cluster_cfg);
+  const JobResult result = cluster.run(small_job(6, 2));
+
+  // Count peak concurrency from spans.
+  std::vector<std::pair<SimTime, int>> events;
+  for (const auto& m : result.maps) {
+    events.emplace_back(m.started, +1);
+    events.emplace_back(m.finished, -1);
+  }
+  std::sort(events.begin(), events.end());
+  int cur = 0;
+  int peak = 0;
+  for (const auto& [t, d] : events) {
+    cur += d;
+    peak = std::max(peak, cur);
+  }
+  EXPECT_LE(peak, 2);
+}
+
+TEST(Engine, ReducersQueueWhenSlotsAreScarce) {
+  net::TwoRackConfig topo_cfg;
+  topo_cfg.servers_per_rack = 1;  // 2 servers
+  hadoop::ClusterConfig cluster_cfg;
+  cluster_cfg.reduce_slots_per_server = 1;  // 2 concurrent reducers max
+  TestCluster cluster(1, topo_cfg, cluster_cfg);
+  const JobResult result = cluster.run(small_job(6, 5));
+
+  // All five reducers complete, but never more than two run concurrently.
+  ASSERT_EQ(result.reducers.size(), 5u);
+  std::vector<std::pair<SimTime, int>> events;
+  for (const auto& r : result.reducers) {
+    events.emplace_back(r.started, +1);
+    events.emplace_back(r.finished, -1);
+  }
+  std::sort(events.begin(), events.end());
+  int cur = 0;
+  int peak = 0;
+  for (const auto& [t, d] : events) {
+    cur += d;
+    peak = std::max(peak, cur);
+  }
+  EXPECT_LE(peak, 2);
+}
+
+TEST(Engine, CompletionEventPollDelaysFetchAvailability) {
+  hadoop::ClusterConfig slow_poll;
+  slow_poll.completion_event_poll = util::Duration::seconds_i(10);
+  TestCluster cluster(1, {}, slow_poll);
+  const JobResult result = cluster.run(small_job(6, 3));
+
+  // Every fetch became available at least 2 s (20% of the window) after its
+  // map finished.
+  for (const auto& f : result.fetches) {
+    const auto& map = result.maps[f.map_index];
+    EXPECT_GE((f.enqueued - map.finished).seconds(), 2.0 - 1e-9)
+        << "map " << f.map_index << " -> reducer " << f.reduce_index;
+  }
+}
+
+TEST(Engine, TwoJobsFifoBothComplete) {
+  TestCluster cluster;
+  JobResult first;
+  JobResult second;
+  int completed = 0;
+  cluster.engine->submit(small_job(6, 2), [&](const JobResult& r) {
+    first = r;
+    ++completed;
+  });
+  cluster.engine->submit(small_job(4, 2), [&](const JobResult& r) {
+    second = r;
+    ++completed;
+  });
+  cluster.sim->run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(cluster.engine->jobs_completed(), 2u);
+  EXPECT_GT(first.completion_time().seconds(), 0.0);
+  EXPECT_GT(second.completion_time().seconds(), 0.0);
+}
+
+TEST(Engine, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    TestCluster cluster(seed);
+    return cluster.run(small_job(10, 4)).completion_time().ns();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // different seed perturbs jitters
+}
+
+TEST(Engine, ObserversSeeLifecycleEvents) {
+  TestCluster cluster;
+  struct Recorder final : EngineObserver {
+    int map_outputs = 0;
+    int reducer_starts = 0;
+    int fetch_starts = 0;
+    int fetch_completes = 0;
+    int job_completes = 0;
+    void on_map_output_ready(const MapOutputNotice&) override {
+      ++map_outputs;
+    }
+    void on_reducer_started(std::size_t, std::size_t, net::NodeId,
+                            SimTime) override {
+      ++reducer_starts;
+    }
+    void on_fetch_started(std::size_t, const FetchRecord&,
+                          net::FlowId) override {
+      ++fetch_starts;
+    }
+    void on_fetch_completed(std::size_t, const FetchRecord&) override {
+      ++fetch_completes;
+    }
+    void on_job_completed(std::size_t, const JobResult&) override {
+      ++job_completes;
+    }
+  } rec;
+  cluster.engine->add_observer(&rec);
+  cluster.run(small_job(5, 3));
+  EXPECT_EQ(rec.map_outputs, 5);
+  EXPECT_EQ(rec.reducer_starts, 3);
+  EXPECT_EQ(rec.fetch_starts, 15);
+  EXPECT_EQ(rec.fetch_completes, 15);
+  EXPECT_EQ(rec.job_completes, 1);
+}
+
+TEST(Engine, MapOutputNoticeMatchesSpec) {
+  TestCluster cluster;
+  struct Checker final : EngineObserver {
+    std::size_t reducers = 0;
+    std::int64_t per_map_payload = -1;
+    bool ratio_ok = true;
+    void on_map_output_ready(const MapOutputNotice& n) override {
+      reducers = n.per_reducer_payload.size();
+      std::int64_t total = 0;
+      for (const auto b : n.per_reducer_payload) total += b.count();
+      per_map_payload = total;
+    }
+  } checker;
+  cluster.engine->add_observer(&checker);
+  JobSpec spec = small_job(4, 6);
+  spec.mapper_output_jitter = 0.0;  // exact: output == input per map
+  cluster.run(spec);
+  EXPECT_EQ(checker.reducers, 6u);
+  EXPECT_NEAR(static_cast<double>(checker.per_map_payload), 64'000'000.0,
+              10.0);
+}
+
+TEST(Engine, ReducerWeightsAccessor) {
+  TestCluster cluster;
+  JobSpec spec = small_job(4, 2);
+  spec.skew = PartitionSkew::explicit_weights({3.0, 1.0});
+  const std::size_t serial = cluster.engine->submit(spec);
+  cluster.sim->run();
+  const auto& w = cluster.engine->job_reducer_weights(serial);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_NEAR(w[0], 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace pythia::hadoop

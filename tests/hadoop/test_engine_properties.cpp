@@ -1,0 +1,119 @@
+// Parameterized invariants of the MapReduce engine across job shapes, skews
+// and cluster sizes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_fixtures.hpp"
+
+namespace pythia::hadoop {
+namespace {
+
+using pythia::testing::TestCluster;
+
+struct Params {
+  std::uint64_t seed;
+  std::size_t maps;
+  std::size_t reducers;
+  double zipf;
+  double ratio;
+  std::size_t servers_per_rack;
+};
+
+class EngineProperty : public ::testing::TestWithParam<Params> {};
+
+TEST_P(EngineProperty, InvariantsHold) {
+  const Params p = GetParam();
+  net::TwoRackConfig topo_cfg;
+  topo_cfg.servers_per_rack = p.servers_per_rack;
+  TestCluster cluster(p.seed, topo_cfg);
+
+  JobSpec spec;
+  spec.name = "prop-job";
+  spec.input = util::Bytes{static_cast<std::int64_t>(p.maps) * 32'000'000};
+  spec.block = util::Bytes{32'000'000};
+  spec.num_reducers = p.reducers;
+  spec.map_output_ratio = p.ratio;
+  spec.skew = PartitionSkew::zipf(p.zipf);
+
+  const JobResult result = cluster.run(spec);
+
+  // I1: task cardinalities.
+  ASSERT_EQ(result.maps.size(), p.maps);
+  ASSERT_EQ(result.reducers.size(), p.reducers);
+  ASSERT_EQ(result.fetches.size(), p.maps * p.reducers);
+
+  // I2: time sanity — no span inverted, completion covers everything.
+  for (const auto& m : result.maps) {
+    EXPECT_LT(m.started, m.finished);
+    EXPECT_LE(m.finished, result.completed);
+  }
+  for (const auto& r : result.reducers) {
+    EXPECT_LE(r.started, r.shuffle_done);
+    EXPECT_LT(r.shuffle_done, r.finished);
+    EXPECT_LE(r.finished, result.completed);
+  }
+  for (const auto& f : result.fetches) {
+    EXPECT_LE(f.enqueued, f.started);
+    EXPECT_LE(f.started, f.completed);
+  }
+
+  // I3: shuffle volume ≈ input * ratio (mapper jitter is zero-mean, bounded
+  // well inside 30% for these sizes).
+  const double expected = spec.input.as_double() * p.ratio;
+  EXPECT_NEAR(result.total_shuffle_bytes().as_double(), expected,
+              expected * 0.3);
+
+  // I4: per-reducer sums match fetch records.
+  std::map<std::size_t, std::int64_t> per_reducer;
+  for (const auto& f : result.fetches) {
+    per_reducer[f.reduce_index] += f.payload.count();
+  }
+  for (const auto& r : result.reducers) {
+    EXPECT_EQ(per_reducer[r.index], r.shuffled.count());
+  }
+
+  // I5: servers come from the cluster.
+  const auto hosts = cluster.topo.hosts();
+  auto is_server = [&](net::NodeId n) {
+    return std::find(hosts.begin(), hosts.end(), n) != hosts.end();
+  };
+  for (const auto& m : result.maps) EXPECT_TRUE(is_server(m.server));
+  for (const auto& r : result.reducers) EXPECT_TRUE(is_server(r.server));
+
+  // I6: network conservation — the fabric delivered exactly the remote
+  // payload volume (all flows are shuffle fetches here).
+  EXPECT_EQ(cluster.fabric->bytes_delivered().count(),
+            result.remote_shuffle_bytes().count());
+  EXPECT_EQ(cluster.fabric->flows_completed(),
+            static_cast<std::uint64_t>(std::count_if(
+                result.fetches.begin(), result.fetches.end(),
+                [](const FetchRecord& f) { return f.remote; })));
+
+  // I7: skewed jobs produce skewed reducer loads (monotone sanity check).
+  if (p.zipf >= 1.0 && p.reducers >= 4) {
+    EXPECT_GT(skew_factor(result.reducer_load_profile()), 1.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EngineProperty,
+    ::testing::Values(Params{1, 1, 1, 0.0, 1.0, 5},
+                      Params{2, 4, 2, 0.0, 1.0, 5},
+                      Params{3, 20, 8, 0.5, 1.0, 5},
+                      Params{4, 40, 4, 1.2, 0.3, 5},
+                      Params{5, 12, 12, 1.0, 2.0, 5},
+                      Params{6, 30, 6, 0.8, 1.0, 2},
+                      Params{7, 64, 10, 0.0, 0.5, 3},
+                      Params{8, 9, 3, 1.5, 1.5, 1},
+                      Params{9, 100, 16, 0.6, 1.0, 5},
+                      Params{10, 2, 7, 0.0, 1.0, 4}),
+    [](const auto& info) {
+      const Params& p = info.param;
+      return "s" + std::to_string(p.seed) + "_m" + std::to_string(p.maps) +
+             "_r" + std::to_string(p.reducers) + "_spr" +
+             std::to_string(p.servers_per_rack);
+    });
+
+}  // namespace
+}  // namespace pythia::hadoop

@@ -1,0 +1,164 @@
+// Fault injection in the MapReduce engine: stragglers and map retries.
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+
+namespace pythia::hadoop {
+namespace {
+
+using pythia::testing::TestCluster;
+using pythia::testing::small_job;
+
+TEST(Faults, NoInjectionByDefault) {
+  TestCluster cluster;
+  const JobResult result = cluster.run(small_job(10, 4));
+  EXPECT_EQ(result.map_retries, 0u);
+  EXPECT_EQ(result.stragglers, 0u);
+}
+
+TEST(Faults, StragglersAreCountedAndSlowTheJob) {
+  hadoop::ClusterConfig faulty;
+  faulty.straggler_probability = 0.3;
+  faulty.straggler_slowdown = 8.0;
+  TestCluster slow(1, {}, faulty);
+  TestCluster clean(1);
+
+  const auto spec = small_job(20, 4);
+  const JobResult with = slow.run(spec);
+  const JobResult without = clean.run(spec);
+  EXPECT_GT(with.stragglers, 0u);
+  EXPECT_GT(with.completion_time().seconds(),
+            without.completion_time().seconds());
+  // All spans still recorded; results structurally complete.
+  EXPECT_EQ(with.maps.size(), 20u);
+  EXPECT_EQ(with.fetches.size(), 20u * 4u);
+}
+
+TEST(Faults, FailedAttemptsAreRetriedAndJobCompletes) {
+  hadoop::ClusterConfig faulty;
+  faulty.map_failure_probability = 0.3;
+  TestCluster cluster(2, {}, faulty);
+  const JobResult result = cluster.run(small_job(20, 4));
+  EXPECT_GT(result.map_retries, 0u);
+  // Every map still finished exactly once; conservation intact.
+  EXPECT_EQ(result.maps.size(), 20u);
+  EXPECT_EQ(result.fetches.size(), 20u * 4u);
+  for (const auto& m : result.maps) {
+    EXPECT_GT(m.finished, m.started);
+  }
+}
+
+TEST(Faults, AttemptCapBoundsRetries) {
+  hadoop::ClusterConfig faulty;
+  faulty.map_failure_probability = 1.0;  // every eligible attempt dies
+  faulty.max_task_attempts = 3;
+  TestCluster cluster(3, {}, faulty);
+  const JobResult result = cluster.run(small_job(5, 2));
+  // With p=1, every map burns exactly (max_attempts - 1) failures and then
+  // the final attempt is forced through: 5 maps x 2 failed attempts.
+  EXPECT_EQ(result.map_retries, 5u * (3u - 1u));
+  EXPECT_EQ(result.maps.size(), 5u);
+}
+
+TEST(Faults, RetriesDoNotDuplicateShuffleVolume) {
+  hadoop::ClusterConfig faulty;
+  faulty.map_failure_probability = 0.4;
+  TestCluster cluster(4, {}, faulty);
+
+  struct OutputTally final : EngineObserver {
+    int notices = 0;
+    void on_map_output_ready(const MapOutputNotice&) override { ++notices; }
+  } tally;
+  cluster.engine->add_observer(&tally);
+
+  const JobResult result = cluster.run(small_job(15, 3));
+  // One spill per map task, regardless of how many attempts failed.
+  EXPECT_EQ(tally.notices, 15);
+  EXPECT_EQ(result.fetches.size(), 15u * 3u);
+}
+
+TEST(Speculation, BackupsRescueStragglers) {
+  hadoop::ClusterConfig cfg;
+  cfg.straggler_probability = 0.15;
+  cfg.straggler_slowdown = 10.0;
+
+  // A map-dominated job so the straggler tail is the critical path.
+  hadoop::JobSpec spec = small_job(20, 4);
+  spec.input = util::Bytes{20LL * 256'000'000};
+  spec.block = util::Bytes{256'000'000};
+  spec.map_rate = util::BitsPerSec{2e8};    // ~25 MB/s: maps take ~11 s
+  spec.reduce_rate = util::BitsPerSec{8e9};  // reduce is cheap
+
+  // Seed chosen so the backup attempts do not straggle themselves (the
+  // straggle draw is iid per attempt, as on a real cluster where a backup
+  // can land on another slow node).
+  TestCluster plain(3, {}, cfg);
+  cfg.speculative_execution = true;
+  TestCluster speculative(3, {}, cfg);
+
+  const JobResult slow = plain.run(spec);
+  const JobResult rescued = speculative.run(spec);
+  EXPECT_GT(slow.stragglers, 0u);
+  // Speculation cuts the ~110 s straggler tail down to ~2x a normal map.
+  EXPECT_LT(rescued.completion_time().seconds(),
+            slow.completion_time().seconds() * 0.5);
+  EXPECT_EQ(rescued.maps.size(), 20u);
+  EXPECT_EQ(rescued.fetches.size(), 20u * 4u);
+}
+
+TEST(Speculation, OneSpillPerMapDespiteBackups) {
+  hadoop::ClusterConfig cfg;
+  cfg.speculative_execution = true;
+  cfg.straggler_probability = 0.5;
+  cfg.straggler_slowdown = 6.0;
+  TestCluster cluster(6, {}, cfg);
+
+  struct OutputTally final : EngineObserver {
+    int notices = 0;
+    void on_map_output_ready(const MapOutputNotice&) override { ++notices; }
+  } tally;
+  cluster.engine->add_observer(&tally);
+
+  const JobResult result = cluster.run(small_job(16, 4));
+  EXPECT_EQ(tally.notices, 16);  // the losing attempt never spills
+  EXPECT_EQ(result.fetches.size(), 16u * 4u);
+}
+
+TEST(Speculation, NoBackupsWhenNothingStraggles) {
+  hadoop::ClusterConfig with;
+  with.speculative_execution = true;
+  TestCluster a(7, {}, with);
+  TestCluster b(7);
+  const auto spec = small_job(12, 3);
+  // With no stragglers the nominal-duration check never fires a backup, so
+  // both runs are identical.
+  EXPECT_EQ(a.run(spec).completion_time().ns(),
+            b.run(spec).completion_time().ns());
+}
+
+TEST(Speculation, ComposesWithFailures) {
+  hadoop::ClusterConfig cfg;
+  cfg.speculative_execution = true;
+  cfg.straggler_probability = 0.2;
+  cfg.straggler_slowdown = 8.0;
+  cfg.map_failure_probability = 0.2;
+  TestCluster cluster(8, {}, cfg);
+  const JobResult result = cluster.run(small_job(24, 4));
+  EXPECT_EQ(result.maps.size(), 24u);
+  EXPECT_EQ(result.fetches.size(), 24u * 4u);
+  for (const auto& m : result.maps) EXPECT_GT(m.finished, m.started);
+}
+
+TEST(Faults, DeterministicUnderInjection) {
+  auto run = [](std::uint64_t seed) {
+    hadoop::ClusterConfig faulty;
+    faulty.map_failure_probability = 0.2;
+    faulty.straggler_probability = 0.1;
+    TestCluster cluster(seed, {}, faulty);
+    return cluster.run(small_job(12, 3)).completion_time().ns();
+  };
+  EXPECT_EQ(run(9), run(9));
+}
+
+}  // namespace
+}  // namespace pythia::hadoop

@@ -1,0 +1,108 @@
+#include "hadoop/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace pythia::hadoop {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(ReducerWeights, UniformIsEqual) {
+  util::Xoshiro256 rng(1);
+  const auto w = reducer_weights(PartitionSkew::uniform(), 8, rng);
+  ASSERT_EQ(w.size(), 8u);
+  for (double x : w) EXPECT_NEAR(x, 0.125, 1e-12);
+}
+
+TEST(ReducerWeights, SumToOneAndPositive) {
+  util::Xoshiro256 rng(2);
+  for (const auto& skew :
+       {PartitionSkew::uniform(), PartitionSkew::zipf(0.8),
+        PartitionSkew::explicit_weights({3.0, 1.0, 2.0})}) {
+    const std::size_t n = skew.kind == SkewKind::kExplicit ? 3 : 5;
+    const auto w = reducer_weights(skew, n, rng);
+    EXPECT_NEAR(sum(w), 1.0, 1e-12);
+    for (double x : w) EXPECT_GT(x, 0.0);
+  }
+}
+
+TEST(ReducerWeights, ZipfZeroDegeneratesToUniform) {
+  util::Xoshiro256 rng(3);
+  const auto w = reducer_weights(PartitionSkew::zipf(0.0), 4, rng);
+  for (double x : w) EXPECT_NEAR(x, 0.25, 1e-12);
+}
+
+TEST(ReducerWeights, ZipfSkewGrowsWithExponent) {
+  util::Xoshiro256 rng1(4);
+  util::Xoshiro256 rng2(4);
+  const auto mild = reducer_weights(PartitionSkew::zipf(0.5), 10, rng1);
+  const auto heavy = reducer_weights(PartitionSkew::zipf(1.5), 10, rng2);
+  EXPECT_LT(skew_factor(mild), skew_factor(heavy));
+}
+
+TEST(ReducerWeights, ZipfHotReducerPositionVariesWithSeed) {
+  // The shuffle moves the heavy reducer around; across several seeds at
+  // least two positions must differ.
+  std::vector<std::size_t> hot_positions;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Xoshiro256 rng(seed);
+    const auto w = reducer_weights(PartitionSkew::zipf(1.2), 6, rng);
+    hot_positions.push_back(static_cast<std::size_t>(
+        std::max_element(w.begin(), w.end()) - w.begin()));
+  }
+  const bool all_same = std::all_of(
+      hot_positions.begin(), hot_positions.end(),
+      [&](std::size_t p) { return p == hot_positions.front(); });
+  EXPECT_FALSE(all_same);
+}
+
+TEST(ReducerWeights, ExplicitPreservesRatios) {
+  util::Xoshiro256 rng(5);
+  const auto w =
+      reducer_weights(PartitionSkew::explicit_weights({5.0, 1.0}), 2, rng);
+  EXPECT_NEAR(w[0] / w[1], 5.0, 1e-9);
+  EXPECT_NEAR(sum(w), 1.0, 1e-12);
+}
+
+TEST(MapperPartition, NormalizedAndPositive) {
+  util::Xoshiro256 rng(6);
+  const std::vector<double> base{0.5, 0.3, 0.2};
+  for (int i = 0; i < 100; ++i) {
+    const auto w = mapper_partition(base, 0.2, rng);
+    EXPECT_NEAR(sum(w), 1.0, 1e-12);
+    for (double x : w) EXPECT_GT(x, 0.0);
+  }
+}
+
+TEST(MapperPartition, ZeroJitterReproducesBase) {
+  util::Xoshiro256 rng(7);
+  const std::vector<double> base{0.6, 0.4};
+  const auto w = mapper_partition(base, 0.0, rng);
+  EXPECT_NEAR(w[0], 0.6, 1e-12);
+  EXPECT_NEAR(w[1], 0.4, 1e-12);
+}
+
+TEST(MapperPartition, JitterAveragesOut) {
+  util::Xoshiro256 rng(8);
+  const std::vector<double> base{0.7, 0.3};
+  double acc0 = 0.0;
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) {
+    acc0 += mapper_partition(base, 0.1, rng)[0];
+  }
+  EXPECT_NEAR(acc0 / kN, 0.7, 0.005);
+}
+
+TEST(SkewFactor, Basics) {
+  EXPECT_DOUBLE_EQ(skew_factor({1.0, 1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(skew_factor({3.0, 1.0}), 1.5);
+  EXPECT_GT(skew_factor({10.0, 1.0, 1.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace pythia::hadoop

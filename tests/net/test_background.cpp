@@ -1,0 +1,127 @@
+#include "net/background.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace pythia::net {
+namespace {
+
+using util::BitsPerSec;
+
+struct Fixture {
+  Topology topo = make_two_rack({});
+  RoutingGraph routing{topo, 2};
+  sim::Simulation sim;
+  Fabric fabric{sim, topo};
+  NodeId rack0_host, rack1_host;
+
+  Fixture() {
+    const auto hosts = topo.hosts();
+    rack0_host = hosts[0];
+    rack1_host = hosts[9];
+  }
+};
+
+TEST(Background, NoOversubscriptionInstallsNothing) {
+  Fixture f;
+  BackgroundSpec spec;
+  spec.oversubscription = 1.0;
+  const auto handle = install_background(f.fabric, f.routing, f.rack0_host,
+                                         f.rack1_host, spec);
+  EXPECT_TRUE(handle.streams.empty());
+  for (const auto& link : f.topo.links()) {
+    EXPECT_DOUBLE_EQ(f.fabric.link_cbr_load(link.id).bps(), 0.0);
+  }
+}
+
+TEST(Background, RatioSetsLoadFraction) {
+  Fixture f;
+  BackgroundSpec spec;
+  spec.oversubscription = 10.0;           // 1:10 -> 90% of capacity
+  spec.path_intensity = {1.0, 1.0};       // symmetric for this test
+  const auto handle = install_background(f.fabric, f.routing, f.rack0_host,
+                                         f.rack1_host, spec);
+  // Two paths x two directions.
+  ASSERT_EQ(handle.streams.size(), 4u);
+  for (const auto rate : handle.rates) {
+    EXPECT_NEAR(rate.bps(), 10e9 * 0.9, 1.0);
+  }
+  // Inter-rack chain links see the load; host access links do not.
+  for (const auto& chain : handle.chains) {
+    for (LinkId l : chain) {
+      EXPECT_GT(f.fabric.link_cbr_load(l).bps(), 0.0);
+      EXPECT_EQ(f.topo.node(f.topo.link(l).src).kind, NodeKind::kSwitch);
+      EXPECT_EQ(f.topo.node(f.topo.link(l).dst).kind, NodeKind::kSwitch);
+    }
+  }
+  const auto hosts = f.topo.hosts();
+  for (NodeId h : hosts) {
+    for (LinkId l : f.topo.out_links(h)) {
+      EXPECT_DOUBLE_EQ(f.fabric.link_cbr_load(l).bps(), 0.0);
+    }
+  }
+}
+
+TEST(Background, AsymmetricIntensityMatchesFig1b) {
+  Fixture f;
+  BackgroundSpec spec;
+  spec.oversubscription = 20.0;      // base fraction 0.95
+  spec.path_intensity = {1.0, 0.1};  // Fig. 1b: ~95% vs ~9.5%
+  const auto handle = install_background(f.fabric, f.routing, f.rack0_host,
+                                         f.rack1_host, spec);
+  ASSERT_EQ(handle.rates.size(), 4u);
+  // Per direction: first path heavy, second light.
+  EXPECT_NEAR(handle.rates[0].bps(), 10e9 * 0.95, 1.0);
+  EXPECT_NEAR(handle.rates[1].bps(), 10e9 * 0.095, 1.0);
+  EXPECT_NEAR(handle.rates[2].bps(), 10e9 * 0.95, 1.0);
+  EXPECT_NEAR(handle.rates[3].bps(), 10e9 * 0.095, 1.0);
+}
+
+TEST(Background, IntensityListShorterThanPaths) {
+  TwoRackConfig cfg;
+  cfg.inter_rack_links = 4;
+  Topology topo = make_two_rack(cfg);
+  RoutingGraph routing(topo, 4);
+  sim::Simulation sim;
+  Fabric fabric(sim, topo);
+  const auto hosts = topo.hosts();
+
+  BackgroundSpec spec;
+  spec.oversubscription = 2.0;
+  spec.path_intensity = {1.0, 0.5};  // paths 2,3 reuse the last entry (0.5)
+  const auto handle =
+      install_background(fabric, routing, hosts[0], hosts[9], spec);
+  ASSERT_EQ(handle.rates.size(), 8u);
+  EXPECT_NEAR(handle.rates[0].bps(), 10e9 * 0.5, 1.0);
+  EXPECT_NEAR(handle.rates[1].bps(), 10e9 * 0.25, 1.0);
+  EXPECT_NEAR(handle.rates[2].bps(), 10e9 * 0.25, 1.0);
+  EXPECT_NEAR(handle.rates[3].bps(), 10e9 * 0.25, 1.0);
+}
+
+TEST(Background, RemoveRestoresCleanFabric) {
+  Fixture f;
+  BackgroundSpec spec;
+  spec.oversubscription = 5.0;
+  const auto handle = install_background(f.fabric, f.routing, f.rack0_host,
+                                         f.rack1_host, spec);
+  ASSERT_FALSE(handle.streams.empty());
+  remove_background(f.fabric, handle);
+  for (const auto& link : f.topo.links()) {
+    EXPECT_DOUBLE_EQ(f.fabric.link_cbr_load(link.id).bps(), 0.0);
+  }
+}
+
+TEST(Background, SameRackReferenceHostsAreHarmless) {
+  Fixture f;
+  BackgroundSpec spec;
+  spec.oversubscription = 5.0;
+  const auto hosts = f.topo.hosts();
+  // Both hosts in rack 0: the inter-rack chain is empty -> nothing installed.
+  const auto handle =
+      install_background(f.fabric, f.routing, hosts[0], hosts[1], spec);
+  EXPECT_TRUE(handle.streams.empty());
+}
+
+}  // namespace
+}  // namespace pythia::net

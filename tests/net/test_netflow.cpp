@@ -1,0 +1,131 @@
+#include "net/netflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/routing.hpp"
+#include "sim/simulation.hpp"
+
+namespace pythia::net {
+namespace {
+
+using util::BitsPerSec;
+using util::Bytes;
+using util::SimTime;
+
+constexpr std::int64_t kGB = 1'000'000'000;
+
+struct Fixture {
+  Topology topo;
+  NodeId h0, h1;
+  Path forward;
+  sim::Simulation sim;
+  std::unique_ptr<Fabric> fabric;
+  NetFlowProbe probe;
+
+  Fixture() {
+    h0 = topo.add_host("h0", 0);
+    h1 = topo.add_host("h1", 1);
+    const NodeId sw = topo.add_switch("sw");
+    topo.add_duplex(h0, sw, BitsPerSec{8e9});
+    topo.add_duplex(sw, h1, BitsPerSec{8e9});
+    forward = *shortest_path(topo, h0, h1);
+    fabric = std::make_unique<Fabric>(sim, topo);
+    fabric->add_observer(&probe);
+  }
+
+  FlowId start(std::int64_t bytes, std::uint16_t src_port) {
+    FlowSpec spec;
+    spec.src = h0;
+    spec.dst = h1;
+    spec.size = Bytes{bytes};
+    spec.path = forward.links;
+    spec.tuple = FiveTuple{1, 2, src_port, 30000, 6};
+    spec.cls = FlowClass::kShuffle;
+    return fabric->start_flow(spec);
+  }
+};
+
+TEST(NetFlow, AccountsShufflePortTraffic) {
+  Fixture f;
+  f.start(kGB, kShufflePort);
+  f.sim.run();
+  EXPECT_NEAR(f.probe.sourced_bytes(f.h0).as_double(), kGB, 1e3);
+  EXPECT_EQ(f.probe.flows_observed(), 1u);
+  EXPECT_EQ(f.probe.observed_sources().size(), 1u);
+}
+
+TEST(NetFlow, FiltersOtherPorts) {
+  Fixture f;
+  f.start(kGB, 1234);  // not the shuffle port
+  f.sim.run();
+  EXPECT_EQ(f.probe.sourced_bytes(f.h0).count(), 0);
+  EXPECT_EQ(f.probe.flows_observed(), 0u);
+  EXPECT_TRUE(f.probe.curve(f.h0).empty());
+}
+
+TEST(NetFlow, ZeroFilterSeesEverything) {
+  Fixture f;
+  NetFlowProbe all(0);
+  f.fabric->add_observer(&all);
+  f.start(kGB / 2, 1234);
+  f.sim.run();
+  EXPECT_NEAR(all.sourced_bytes(f.h0).as_double(), kGB / 2, 1e3);
+}
+
+TEST(NetFlow, CurveIsMonotone) {
+  Fixture f;
+  f.start(kGB, kShufflePort);
+  f.start(kGB / 2, kShufflePort);
+  f.sim.run();
+  const auto& curve = f.probe.curve(f.h0);
+  ASSERT_FALSE(curve.empty());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].at, curve[i - 1].at);
+    EXPECT_GE(curve[i].cumulative, curve[i - 1].cumulative);
+  }
+  EXPECT_NEAR(curve.back().cumulative.as_double(), 1.5 * kGB, 1e3);
+}
+
+TEST(NetFlow, CurveValueInterpolates) {
+  std::vector<VolumePoint> curve{
+      {SimTime::from_seconds(1.0), Bytes{100}},
+      {SimTime::from_seconds(3.0), Bytes{300}},
+  };
+  EXPECT_DOUBLE_EQ(curve_value_at(curve, SimTime::from_seconds(0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(curve_value_at(curve, SimTime::from_seconds(1.0)), 100.0);
+  EXPECT_DOUBLE_EQ(curve_value_at(curve, SimTime::from_seconds(2.0)), 200.0);
+  EXPECT_DOUBLE_EQ(curve_value_at(curve, SimTime::from_seconds(9.0)), 300.0);
+  EXPECT_DOUBLE_EQ(curve_value_at({}, SimTime::from_seconds(1.0)), 0.0);
+}
+
+TEST(NetFlow, TimeToReach) {
+  std::vector<VolumePoint> curve{
+      {SimTime::from_seconds(1.0), Bytes{100}},
+      {SimTime::from_seconds(3.0), Bytes{300}},
+  };
+  EXPECT_EQ(curve_time_to_reach(curve, 0.0), SimTime::zero());
+  EXPECT_NEAR(curve_time_to_reach(curve, 100.0).seconds(), 1.0, 1e-9);
+  EXPECT_NEAR(curve_time_to_reach(curve, 200.0).seconds(), 2.0, 1e-9);
+  EXPECT_EQ(curve_time_to_reach(curve, 500.0), SimTime::max());
+}
+
+TEST(NetFlow, PerSourceSeparation) {
+  Fixture f;
+  // Add a reverse-direction flow: h1 sources it.
+  FlowSpec spec;
+  spec.src = f.h1;
+  spec.dst = f.h0;
+  spec.size = Bytes{kGB / 4};
+  Path back = *shortest_path(f.topo, f.h1, f.h0);
+  spec.path = back.links;
+  spec.tuple = FiveTuple{2, 1, kShufflePort, 30001, 6};
+  f.fabric->start_flow(spec);
+  f.start(kGB, kShufflePort);
+  f.sim.run();
+  EXPECT_NEAR(f.probe.sourced_bytes(f.h0).as_double(), kGB, 1e3);
+  EXPECT_NEAR(f.probe.sourced_bytes(f.h1).as_double(), kGB / 4, 1e3);
+  EXPECT_EQ(f.probe.observed_sources().size(), 2u);
+}
+
+}  // namespace
+}  // namespace pythia::net

@@ -1,0 +1,168 @@
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pythia::net {
+namespace {
+
+using util::BitsPerSec;
+
+Topology diamond() {
+  // a -> {x, y} -> b : two 2-hop paths.
+  Topology topo;
+  const NodeId a = topo.add_host("a", 0);
+  const NodeId b = topo.add_host("b", 1);
+  const NodeId x = topo.add_switch("x");
+  const NodeId y = topo.add_switch("y");
+  topo.add_duplex(a, x, BitsPerSec{1e9});
+  topo.add_duplex(a, y, BitsPerSec{1e9});
+  topo.add_duplex(x, b, BitsPerSec{1e9});
+  topo.add_duplex(y, b, BitsPerSec{1e9});
+  return topo;
+}
+
+TEST(ShortestPath, TrivialAndSelf) {
+  const Topology topo = diamond();
+  const auto hosts = topo.hosts();
+  const auto self = shortest_path(topo, hosts[0], hosts[0]);
+  ASSERT_TRUE(self.has_value());
+  EXPECT_TRUE(self->links.empty());
+
+  const auto p = shortest_path(topo, hosts[0], hosts[1]);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 2u);
+  EXPECT_TRUE(topo.validate_path(hosts[0], hosts[1], p->links));
+}
+
+TEST(ShortestPath, RespectsBannedLinks) {
+  const Topology topo = diamond();
+  const auto hosts = topo.hosts();
+  const auto first = shortest_path(topo, hosts[0], hosts[1]);
+  ASSERT_TRUE(first.has_value());
+  const auto second = shortest_path(topo, hosts[0], hosts[1],
+                                    {first->links.front()});
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(first->links, second->links);
+  // Banning both first hops disconnects the pair.
+  const auto none = shortest_path(
+      topo, hosts[0], hosts[1],
+      {first->links.front(), second->links.front()});
+  EXPECT_FALSE(none.has_value());
+}
+
+TEST(ShortestPath, RespectsBannedNodes) {
+  const Topology topo = diamond();
+  const auto hosts = topo.hosts();
+  const auto switches = topo.switches();
+  const auto p = shortest_path(topo, hosts[0], hosts[1], {},
+                               {switches[0], switches[1]});
+  EXPECT_FALSE(p.has_value());
+}
+
+TEST(ShortestPath, DeterministicTieBreak) {
+  const Topology topo = diamond();
+  const auto hosts = topo.hosts();
+  const auto a = shortest_path(topo, hosts[0], hosts[1]);
+  const auto b = shortest_path(topo, hosts[0], hosts[1]);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->links, b->links);
+}
+
+TEST(KShortest, FindsBothDiamondPaths) {
+  const Topology topo = diamond();
+  const auto hosts = topo.hosts();
+  const auto paths = k_shortest_paths(topo, hosts[0], hosts[1], 4);
+  ASSERT_EQ(paths.size(), 2u);  // only two loop-free paths exist
+  EXPECT_EQ(paths[0].hops(), 2u);
+  EXPECT_EQ(paths[1].hops(), 2u);
+  EXPECT_NE(paths[0].links, paths[1].links);
+  for (const auto& p : paths) {
+    EXPECT_TRUE(topo.validate_path(hosts[0], hosts[1], p.links));
+  }
+}
+
+TEST(KShortest, TwoRackParallelCables) {
+  TwoRackConfig cfg;
+  cfg.inter_rack_links = 3;
+  const Topology topo = make_two_rack(cfg);
+  const auto hosts = topo.hosts();
+  const NodeId src = hosts[0];
+  const NodeId dst = hosts[9];
+  const auto paths = k_shortest_paths(topo, src, dst, 8);
+  // Three parallel cables -> exactly three 4-hop inter-rack paths.
+  ASSERT_EQ(paths.size(), 3u);
+  std::set<std::vector<LinkId>> unique;
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.hops(), 4u);
+    EXPECT_TRUE(topo.validate_path(src, dst, p.links));
+    unique.insert(p.links);
+  }
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(KShortest, SameRackSinglePath) {
+  const Topology topo = make_two_rack({});
+  const auto hosts = topo.hosts();
+  const auto paths = k_shortest_paths(topo, hosts[0], hosts[1], 4);
+  ASSERT_EQ(paths.size(), 1u);  // via the shared ToR only
+  EXPECT_EQ(paths[0].hops(), 2u);
+}
+
+TEST(KShortest, NondecreasingLengths) {
+  LeafSpineConfig cfg;
+  cfg.racks = 2;
+  cfg.servers_per_rack = 2;
+  cfg.spines = 4;
+  const Topology topo = make_leaf_spine(cfg);
+  const auto hosts = topo.hosts();
+  const auto paths = k_shortest_paths(topo, hosts[0], hosts[3], 16);
+  ASSERT_GE(paths.size(), 4u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].hops(), paths[i - 1].hops());
+  }
+}
+
+TEST(KShortest, KZeroAndDisconnected) {
+  const Topology topo = diamond();
+  const auto hosts = topo.hosts();
+  EXPECT_TRUE(k_shortest_paths(topo, hosts[0], hosts[1], 0).empty());
+
+  Topology island;
+  const NodeId a = island.add_host("a", 0);
+  const NodeId b = island.add_host("b", 1);
+  EXPECT_TRUE(k_shortest_paths(island, a, b, 3).empty());
+}
+
+TEST(RoutingGraph, PrecomputesAllHostPairs) {
+  const Topology topo = make_two_rack({});
+  const RoutingGraph rg(topo, 2);
+  const auto hosts = topo.hosts();
+  for (NodeId a : hosts) {
+    for (NodeId b : hosts) {
+      if (a == b) continue;
+      const auto& paths = rg.paths(a, b);
+      ASSERT_FALSE(paths.empty()) << a.value() << "->" << b.value();
+      const bool cross_rack = topo.node(a).rack != topo.node(b).rack;
+      EXPECT_EQ(paths.size(), cross_rack ? 2u : 1u);
+    }
+  }
+  EXPECT_EQ(rg.k(), 2u);
+}
+
+TEST(RoutingGraph, RebuildAfterTopologyChange) {
+  TwoRackConfig cfg;
+  const Topology before = make_two_rack(cfg);
+  RoutingGraph rg(before, 4);
+  const auto hosts = before.hosts();
+  EXPECT_EQ(rg.paths(hosts[0], hosts[9]).size(), 2u);
+
+  cfg.inter_rack_links = 4;
+  const Topology after = make_two_rack(cfg);
+  rg.rebuild(after);
+  EXPECT_EQ(rg.paths(hosts[0], hosts[9]).size(), 4u);
+}
+
+}  // namespace
+}  // namespace pythia::net

@@ -1,0 +1,136 @@
+// Property tests for k-shortest-path routing: cross-checked against
+// brute-force enumeration of all loop-free paths on randomized graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "net/routing.hpp"
+#include "util/random.hpp"
+
+namespace pythia::net {
+namespace {
+
+using util::BitsPerSec;
+
+/// Random connected-ish graph: `hosts` hosts, `switches` switches, each host
+/// wired to one switch, plus `extra_edges` random switch-switch cables.
+Topology random_topology(util::Xoshiro256& rng, std::size_t hosts,
+                         std::size_t switches, std::size_t extra_edges) {
+  Topology topo;
+  std::vector<NodeId> sw;
+  sw.reserve(switches);
+  for (std::size_t i = 0; i < switches; ++i) {
+    sw.push_back(topo.add_switch("s" + std::to_string(i)));
+  }
+  // Switch ring so the graph is connected.
+  for (std::size_t i = 0; i + 1 < switches; ++i) {
+    topo.add_duplex(sw[i], sw[i + 1], BitsPerSec{1e9});
+  }
+  for (std::size_t i = 0; i < hosts; ++i) {
+    const NodeId h = topo.add_host("h" + std::to_string(i),
+                                   static_cast<int>(i % 2));
+    topo.add_duplex(h, sw[rng.below(switches)], BitsPerSec{1e9});
+  }
+  for (std::size_t i = 0; i < extra_edges; ++i) {
+    const NodeId a = sw[rng.below(switches)];
+    const NodeId b = sw[rng.below(switches)];
+    if (a != b) topo.add_duplex(a, b, BitsPerSec{1e9});
+  }
+  return topo;
+}
+
+/// All loop-free (node-simple) link paths from src to dst, by DFS.
+std::vector<Path> enumerate_paths(const Topology& topo, NodeId src,
+                                  NodeId dst, std::size_t max_hops = 10) {
+  std::vector<Path> out;
+  std::vector<LinkId> stack;
+  std::set<NodeId> visited{src};
+  std::function<void(NodeId)> dfs = [&](NodeId at) {
+    if (stack.size() > max_hops) return;
+    if (at == dst) {
+      out.push_back(Path{stack});
+      return;
+    }
+    for (LinkId l : topo.out_links(at)) {
+      const NodeId next = topo.link(l).dst;
+      if (visited.contains(next)) continue;
+      visited.insert(next);
+      stack.push_back(l);
+      dfs(next);
+      stack.pop_back();
+      visited.erase(next);
+    }
+  };
+  dfs(src);
+  return out;
+}
+
+class RoutingVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingVsBruteForce, KShortestMatchesEnumeration) {
+  util::Xoshiro256 rng(GetParam());
+  const Topology topo = random_topology(rng, 4, 5, 3);
+  const auto hosts = topo.hosts();
+
+  for (NodeId src : hosts) {
+    for (NodeId dst : hosts) {
+      if (src == dst) continue;
+      auto all = enumerate_paths(topo, src, dst);
+      std::sort(all.begin(), all.end(), [](const Path& a, const Path& b) {
+        return a.hops() < b.hops();
+      });
+      for (const std::size_t k : {1UL, 2UL, 4UL, 16UL}) {
+        const auto got = k_shortest_paths(topo, src, dst, k);
+        // Cardinality: min(k, #loop-free paths).
+        ASSERT_EQ(got.size(), std::min(k, all.size()))
+            << src.value() << "->" << dst.value() << " k=" << k;
+        std::set<std::vector<LinkId>> seen;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          // Valid, loop-free, distinct.
+          EXPECT_TRUE(topo.validate_path(src, dst, got[i].links));
+          EXPECT_TRUE(seen.insert(got[i].links).second);
+          // Appears in the brute-force enumeration.
+          EXPECT_TRUE(std::any_of(all.begin(), all.end(),
+                                  [&](const Path& p) {
+                                    return p.links == got[i].links;
+                                  }));
+          // Nondecreasing lengths, and the i-th matches the i-th shortest
+          // possible length.
+          EXPECT_EQ(got[i].hops(), all[i].hops());
+          if (i > 0) {
+            EXPECT_GE(got[i].hops(), got[i - 1].hops());
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingVsBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(RoutingDeterminism, IdenticalAcrossRuns) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    util::Xoshiro256 rng_a(seed);
+    util::Xoshiro256 rng_b(seed);
+    const Topology ta = random_topology(rng_a, 4, 5, 3);
+    const Topology tb = random_topology(rng_b, 4, 5, 3);
+    const auto hosts = ta.hosts();
+    for (NodeId src : hosts) {
+      for (NodeId dst : hosts) {
+        if (src == dst) continue;
+        const auto pa = k_shortest_paths(ta, src, dst, 8);
+        const auto pb = k_shortest_paths(tb, src, dst, 8);
+        ASSERT_EQ(pa.size(), pb.size());
+        for (std::size_t i = 0; i < pa.size(); ++i) {
+          EXPECT_EQ(pa[i].links, pb[i].links);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pythia::net

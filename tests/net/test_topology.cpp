@@ -1,0 +1,130 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pythia::net {
+namespace {
+
+using util::BitsPerSec;
+
+TEST(Topology, AddNodesAndLinks) {
+  Topology topo;
+  const NodeId h0 = topo.add_host("h0", 0);
+  const NodeId s0 = topo.add_switch("s0");
+  EXPECT_EQ(topo.node_count(), 2u);
+  EXPECT_EQ(topo.node(h0).kind, NodeKind::kHost);
+  EXPECT_EQ(topo.node(s0).kind, NodeKind::kSwitch);
+  EXPECT_EQ(topo.node(h0).rack, 0);
+  EXPECT_EQ(topo.node(s0).rack, -1);
+
+  const LinkId l = topo.add_link(h0, s0, BitsPerSec{1e9});
+  EXPECT_EQ(topo.link_count(), 1u);
+  EXPECT_EQ(topo.link(l).src, h0);
+  EXPECT_EQ(topo.link(l).dst, s0);
+  EXPECT_DOUBLE_EQ(topo.link(l).capacity.bps(), 1e9);
+}
+
+TEST(Topology, DuplexAddsBothDirections) {
+  Topology topo;
+  const NodeId a = topo.add_host("a", 0);
+  const NodeId b = topo.add_switch("b");
+  topo.add_duplex(a, b, BitsPerSec{1e9});
+  EXPECT_EQ(topo.link_count(), 2u);
+  EXPECT_TRUE(topo.find_link(a, b).has_value());
+  EXPECT_TRUE(topo.find_link(b, a).has_value());
+  EXPECT_FALSE(topo.find_link(a, a).has_value());
+}
+
+TEST(Topology, HostsAndSwitchesPartition) {
+  const Topology topo = make_two_rack({});
+  EXPECT_EQ(topo.hosts().size(), 10u);
+  // 2 ToRs + 2 wire switches for the two inter-rack cables.
+  EXPECT_EQ(topo.switches().size(), 4u);
+}
+
+TEST(Topology, TwoRackShape) {
+  TwoRackConfig cfg;
+  cfg.servers_per_rack = 3;
+  cfg.inter_rack_links = 4;
+  const Topology topo = make_two_rack(cfg);
+  EXPECT_EQ(topo.hosts().size(), 6u);
+  EXPECT_EQ(topo.switches().size(), 2u + 4u);
+  // Each host: 2 links; each wire: 4 links; plus ToR sides == total degree.
+  // 6 hosts*2 + 4 wires*(2 up + 2 down) = 12 + 16 = 28 directed links.
+  EXPECT_EQ(topo.link_count(), 28u);
+  // Rack assignment: first 3 hosts rack 0, next 3 rack 1.
+  const auto hosts = topo.hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    EXPECT_EQ(topo.node(hosts[i]).rack, i < 3 ? 0 : 1);
+  }
+}
+
+TEST(Topology, LeafSpineShape) {
+  LeafSpineConfig cfg;
+  cfg.racks = 3;
+  cfg.servers_per_rack = 2;
+  cfg.spines = 4;
+  const Topology topo = make_leaf_spine(cfg);
+  EXPECT_EQ(topo.hosts().size(), 6u);
+  EXPECT_EQ(topo.switches().size(), 3u + 4u);
+  // Links: 6 hosts*2 + 3 tors*4 spines*2 = 12 + 24 = 36.
+  EXPECT_EQ(topo.link_count(), 36u);
+}
+
+TEST(Topology, ValidatePath) {
+  const Topology topo = make_two_rack({});
+  const auto hosts = topo.hosts();
+  const NodeId src = hosts[0];
+  const NodeId dst = hosts[7];  // other rack
+  // Build a valid path by hand: host->tor0->wire0->tor1->host.
+  const auto out = topo.out_links(src);
+  ASSERT_EQ(out.size(), 1u);
+  const NodeId tor0 = topo.link(out[0]).dst;
+  // Find a wire hop.
+  std::vector<LinkId> path{out[0]};
+  for (LinkId l : topo.out_links(tor0)) {
+    const NodeId mid = topo.link(l).dst;
+    if (topo.node(mid).kind != NodeKind::kSwitch) continue;
+    if (topo.node(mid).rack != -1) continue;  // want a wire switch
+    for (LinkId l2 : topo.out_links(mid)) {
+      const NodeId tor1 = topo.link(l2).dst;
+      if (auto last = topo.find_link(tor1, dst)) {
+        path.push_back(l);
+        path.push_back(l2);
+        path.push_back(*last);
+        break;
+      }
+    }
+    if (path.size() == 4) break;
+  }
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_TRUE(topo.validate_path(src, dst, path));
+  EXPECT_FALSE(topo.validate_path(dst, src, path));  // wrong direction
+  std::vector<LinkId> broken{path[0], path[2]};      // gap in the chain
+  EXPECT_FALSE(topo.validate_path(src, dst, broken));
+  EXPECT_TRUE(topo.validate_path(src, src, {}));     // empty loop-path
+  EXPECT_FALSE(topo.validate_path(src, dst, {}));
+}
+
+TEST(Topology, AddressEncodesRack) {
+  const Topology topo = make_two_rack({});
+  const auto hosts = topo.hosts();
+  const std::uint32_t a0 = topo.address_of(hosts[0]);
+  const std::uint32_t a5 = topo.address_of(hosts[5]);
+  EXPECT_EQ(a0 >> 24, 10u);
+  EXPECT_EQ((a0 >> 16) & 0xff, 0u);
+  EXPECT_EQ((a5 >> 16) & 0xff, 1u);
+  EXPECT_NE(a0, topo.address_of(hosts[1]));
+}
+
+TEST(Topology, OutLinksDeterministicOrder) {
+  const Topology a = make_two_rack({});
+  const Topology b = make_two_rack({});
+  for (std::size_t n = 0; n < a.node_count(); ++n) {
+    const NodeId id{static_cast<std::uint32_t>(n)};
+    EXPECT_EQ(a.out_links(id), b.out_links(id));
+  }
+}
+
+}  // namespace
+}  // namespace pythia::net

@@ -1,0 +1,168 @@
+// Controller topology-update service: link failure and recovery (paper §IV
+// claims fault tolerance through routing-graph updates on failure events).
+#include <gtest/gtest.h>
+
+#include "experiments/scenario.hpp"
+#include "sdn/controller.hpp"
+#include "sim/simulation.hpp"
+#include "workloads/hibench.hpp"
+
+namespace pythia::sdn {
+namespace {
+
+using net::FiveTuple;
+using net::FlowClass;
+using net::FlowSpec;
+using net::LinkId;
+using net::NodeId;
+using util::Bytes;
+using util::Duration;
+using util::SimTime;
+
+constexpr std::int64_t kGB = 1'000'000'000;
+
+struct Fixture {
+  net::Topology topo = net::make_two_rack({});
+  sim::Simulation sim;
+  net::Fabric fabric{sim, topo};
+  Controller controller{sim, fabric, topo};
+  NodeId src, dst;
+
+  Fixture() {
+    const auto hosts = topo.hosts();
+    src = hosts[0];
+    dst = hosts[9];
+  }
+};
+
+TEST(Failover, RoutingGraphDropsFailedPath) {
+  Fixture f;
+  const auto paths = f.controller.routing().paths(f.src, f.dst);
+  ASSERT_EQ(paths.size(), 2u);
+  const LinkId inter0 = paths[0].links[1];
+
+  f.controller.handle_link_failure(inter0);
+  EXPECT_EQ(f.controller.routing().paths(f.src, f.dst).size(), 1u);
+  EXPECT_EQ(f.controller.topology_rebuilds(), 1u);
+  EXPECT_EQ(f.controller.failed_links().size(), 2u);  // both directions
+
+  f.controller.handle_link_restore(inter0);
+  EXPECT_EQ(f.controller.routing().paths(f.src, f.dst).size(), 2u);
+  EXPECT_TRUE(f.controller.failed_links().empty());
+}
+
+TEST(Failover, RulesOnFailedPathArePurged) {
+  Fixture f;
+  const auto paths = f.controller.routing().paths(f.src, f.dst);
+  f.controller.install_path(f.src, f.dst, paths[0]);
+  f.sim.run();
+  ASSERT_NE(f.controller.active_rule(f.src, f.dst), nullptr);
+
+  f.controller.handle_link_failure(paths[0].links[1]);
+  EXPECT_EQ(f.controller.active_rule(f.src, f.dst), nullptr);
+  // Resolution falls back to ECMP over the surviving path.
+  const FiveTuple t{1, 2, 50060, 31000, 6};
+  const auto& resolved = f.controller.resolve(f.src, f.dst, t);
+  EXPECT_EQ(resolved.links, paths[1].links);
+}
+
+TEST(Failover, StrandedFlowsAreReroutedAndComplete) {
+  Fixture f;
+  const auto paths = f.controller.routing().paths(f.src, f.dst);
+  FlowSpec spec;
+  spec.src = f.src;
+  spec.dst = f.dst;
+  spec.size = Bytes{10 * kGB};
+  spec.path = paths[0].links;
+  spec.tuple = FiveTuple{1, 2, 50060, 31000, 6};
+  spec.cls = FlowClass::kShuffle;
+  double done = -1.0;
+  const net::FlowId flow = f.fabric.start_flow(
+      spec, [&](net::FlowId, SimTime at) { done = at.seconds(); });
+
+  f.sim.after(Duration::seconds_i(2), [&] {
+    f.controller.handle_link_failure(paths[0].links[1]);
+  });
+  f.sim.run();
+  EXPECT_EQ(f.fabric.flow(flow).spec.path, paths[1].links);
+  // 2 s on path 0 (2.5 GB), remaining 7.5 GB on path 1 at 1.25 GB/s.
+  EXPECT_NEAR(done, 8.0, 1e-6);
+}
+
+TEST(Failover, RulesSurviveUnrelatedFailure) {
+  Fixture f;
+  const auto paths = f.controller.routing().paths(f.src, f.dst);
+  f.controller.install_path(f.src, f.dst, paths[1]);
+  f.sim.run();
+  f.controller.handle_link_failure(paths[0].links[1]);
+  EXPECT_NE(f.controller.active_rule(f.src, f.dst), nullptr);
+}
+
+TEST(Failover, SwitchFailureKillsAllItsPaths) {
+  Fixture f;
+  // Fail one of the two "wire" switches carrying an inter-rack cable.
+  const auto paths = f.controller.routing().paths(f.src, f.dst);
+  const net::NodeId wire = f.topo.link(paths[0].links[1]).dst;
+  ASSERT_EQ(f.topo.node(wire).kind, net::NodeKind::kSwitch);
+
+  f.controller.handle_switch_failure(wire);
+  EXPECT_EQ(f.controller.routing().paths(f.src, f.dst).size(), 1u);
+  // All four adjacent directed links are down.
+  EXPECT_EQ(f.controller.failed_links().size(), 4u);
+  for (net::LinkId l : f.controller.failed_links()) {
+    EXPECT_FALSE(f.fabric.link_up(l));
+  }
+
+  f.controller.handle_switch_restore(wire);
+  EXPECT_TRUE(f.controller.failed_links().empty());
+  EXPECT_EQ(f.controller.routing().paths(f.src, f.dst).size(), 2u);
+}
+
+TEST(Failover, InstallOverFailedLinkIsRefused) {
+  Fixture f;
+  const auto paths = f.controller.routing().paths(f.src, f.dst);
+  f.controller.handle_link_failure(paths[0].links[1]);
+  // A stale scheduler asks for the dead path: the controller must refuse.
+  f.controller.install_path(f.src, f.dst, paths[0]);
+  f.sim.run();
+  EXPECT_EQ(f.controller.active_rule(f.src, f.dst), nullptr);
+  EXPECT_EQ(f.controller.rules_installed(), 0u);
+}
+
+class FailoverJob : public ::testing::TestWithParam<exp::SchedulerKind> {};
+
+TEST_P(FailoverJob, JobCompletesAcrossMidShuffleLinkFailure) {
+  exp::ScenarioConfig cfg;
+  cfg.seed = 6;
+  cfg.scheduler = GetParam();
+  cfg.background.oversubscription = 5.0;
+  exp::Scenario scenario(cfg);
+
+  // Fail one inter-rack cable 20 s in (mid-job), restore at 60 s.
+  const auto& paths = scenario.controller().routing().paths(
+      scenario.servers()[0], scenario.servers()[9]);
+  const LinkId victim = paths[1].links[1];
+  scenario.simulation().after(Duration::seconds_i(20), [&] {
+    scenario.controller().handle_link_failure(victim);
+  });
+  scenario.simulation().after(Duration::seconds_i(60), [&] {
+    scenario.controller().handle_link_restore(victim);
+  });
+
+  const auto job =
+      workloads::sort_job(Bytes{12LL * 1000 * 1000 * 1000}, 8);
+  const auto result = scenario.run_job(job);
+  EXPECT_GT(result.completion_time().seconds(), 0.0);
+  EXPECT_EQ(result.maps.size(), job.num_maps());
+  EXPECT_GE(scenario.controller().topology_rebuilds(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, FailoverJob,
+    ::testing::Values(exp::SchedulerKind::kEcmp, exp::SchedulerKind::kPythia,
+                      exp::SchedulerKind::kHedera,
+                      exp::SchedulerKind::kStaticOracle),
+    [](const auto& info) { return exp::scheduler_name(info.param); });
+
+}  // namespace
+}  // namespace pythia::sdn

@@ -1,0 +1,160 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace pythia::sim {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::from_seconds(3.0), [&] { order.push_back(3); });
+  q.schedule(SimTime::from_seconds(1.0), [&] { order.push_back(1); });
+  q.schedule(SimTime::from_seconds(2.0), [&] { order.push_back(2); });
+  EXPECT_EQ(q.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), SimTime::from_seconds(3.0));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = SimTime::from_seconds(1.0);
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(t, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, AdvancesClockOnlyToFiredEvents) {
+  EventQueue q;
+  q.schedule(SimTime::from_seconds(5.0), [] {});
+  EXPECT_EQ(q.now(), SimTime::zero());
+  q.run_one();
+  EXPECT_EQ(q.now(), SimTime::from_seconds(5.0));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  auto h = q.schedule(SimTime::from_seconds(1.0), [&] { ++fired; });
+  q.schedule(SimTime::from_seconds(2.0), [&] { ++fired; });
+  h.cancel();
+  EXPECT_TRUE(h.cancelled());
+  EXPECT_EQ(q.run_all(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  auto h = q.schedule(SimTime::from_seconds(1.0), [] {});
+  EXPECT_EQ(q.pending(), 1u);
+  h.cancel();
+  h.cancel();
+  h.cancel();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.run_all(), 0u);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  auto h = q.schedule(SimTime::from_seconds(1.0), [] {});
+  q.run_all();
+  h.cancel();  // must not corrupt the live counter
+  EXPECT_EQ(q.pending(), 0u);
+  q.schedule(SimTime::from_seconds(2.0), [] {});
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.run_all(), 1u);
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(h.cancelled());
+  h.cancel();  // no crash
+}
+
+TEST(EventQueue, ScheduleFromWithinEvent) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule(SimTime::from_seconds(1.0), [&] {
+    times.push_back(q.now().seconds());
+    q.schedule_after(Duration::seconds_i(1),
+                     [&] { times.push_back(q.now().seconds()); });
+  });
+  q.run_all();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvances) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(SimTime::from_seconds(1.0), [&] { ++fired; });
+  q.schedule(SimTime::from_seconds(5.0), [&] { ++fired; });
+  EXPECT_EQ(q.run_until(SimTime::from_seconds(3.0)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), SimTime::from_seconds(3.0));
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilWithCancelledHead) {
+  EventQueue q;
+  int fired = 0;
+  auto h = q.schedule(SimTime::from_seconds(1.0), [&] { ++fired; });
+  q.schedule(SimTime::from_seconds(2.0), [&] { ++fired; });
+  h.cancel();
+  EXPECT_EQ(q.run_until(SimTime::from_seconds(10.0)), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RunAllLimit) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime::from_seconds(i), [] {});
+  }
+  EXPECT_EQ(q.run_all(4), 4u);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, CountsFired) {
+  EventQueue q;
+  q.schedule(SimTime::from_seconds(1.0), [] {});
+  q.schedule(SimTime::from_seconds(2.0), [] {});
+  q.run_all();
+  EXPECT_EQ(q.events_fired(), 2u);
+}
+
+TEST(Simulation, NamedRngStreamsAreStableAndIndependent) {
+  Simulation sim_a(99);
+  Simulation sim_b(99);
+  // Same seed + same stream name -> identical sequences.
+  EXPECT_EQ(sim_a.rng("x")(), sim_b.rng("x")());
+  // Different stream names -> different sequences (overwhelmingly likely).
+  Simulation sim_c(99);
+  EXPECT_NE(sim_c.rng("x")(), sim_c.rng("y")());
+}
+
+TEST(Simulation, RunExecutesScheduled) {
+  Simulation sim(1);
+  int count = 0;
+  sim.after(Duration::seconds_i(1), [&] { ++count; });
+  sim.at(SimTime::from_seconds(2.0), [&] { ++count; });
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), SimTime::from_seconds(2.0));
+}
+
+}  // namespace
+}  // namespace pythia::sim

@@ -1,0 +1,63 @@
+// Shared test fixtures: a fully wired small cluster (topology + fabric +
+// controller + engine) used across hadoop/core/integration tests.
+#pragma once
+
+#include <memory>
+
+#include "hadoop/engine.hpp"
+#include "net/background.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "sdn/controller.hpp"
+#include "sim/simulation.hpp"
+
+namespace pythia::testing {
+
+struct TestCluster {
+  net::Topology topo;
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<net::Fabric> fabric;
+  std::unique_ptr<sdn::Controller> controller;
+  std::unique_ptr<hadoop::MapReduceEngine> engine;
+
+  explicit TestCluster(std::uint64_t seed = 1,
+                       net::TwoRackConfig topo_cfg = {},
+                       hadoop::ClusterConfig cluster_cfg = {},
+                       sdn::ControllerConfig controller_cfg = {}) {
+    topo = net::make_two_rack(topo_cfg);
+    sim = std::make_unique<sim::Simulation>(seed);
+    fabric = std::make_unique<net::Fabric>(*sim, topo);
+    controller = std::make_unique<sdn::Controller>(*sim, *fabric, topo,
+                                                   controller_cfg);
+    cluster_cfg.servers = topo.hosts();
+    engine = std::make_unique<hadoop::MapReduceEngine>(*sim, *fabric,
+                                                       *controller,
+                                                       cluster_cfg);
+  }
+
+  hadoop::JobResult run(const hadoop::JobSpec& spec) {
+    hadoop::JobResult result;
+    bool done = false;
+    engine->submit(spec, [&](const hadoop::JobResult& r) {
+      result = r;
+      done = true;
+    });
+    sim->run();
+    if (!done) throw std::runtime_error("job did not complete");
+    return result;
+  }
+};
+
+/// A small, fast job spec for engine tests.
+inline hadoop::JobSpec small_job(std::size_t maps = 6,
+                                 std::size_t reducers = 4) {
+  hadoop::JobSpec spec;
+  spec.name = "test-job";
+  spec.input = util::Bytes{static_cast<std::int64_t>(maps) * 64'000'000};
+  spec.block = util::Bytes{64'000'000};
+  spec.num_reducers = reducers;
+  spec.map_output_ratio = 1.0;
+  return spec;
+}
+
+}  // namespace pythia::testing

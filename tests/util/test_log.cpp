@@ -1,0 +1,58 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pythia::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  // The suite runs with an untouched default unless a test changed it.
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST(Log, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  for (const auto level : {LogLevel::kTrace, LogLevel::kDebug,
+                           LogLevel::kInfo, LogLevel::kWarn,
+                           LogLevel::kError}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, StreamMacroOnlyEvaluatesWhenEnabled) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  PYTHIA_LOG(kDebug, "test") << "value " << expensive();
+  EXPECT_EQ(evaluations, 0);  // below threshold: argument untouched
+
+  set_log_level(LogLevel::kTrace);
+  PYTHIA_LOG(kDebug, "test") << "value " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, LevelOrderingIsMonotone) {
+  EXPECT_LT(LogLevel::kTrace, LogLevel::kDebug);
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace pythia::util

@@ -1,0 +1,155 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pythia::util {
+namespace {
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, Uniform01InRange) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, UniformRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(3.0, 5.0);
+    ASSERT_GE(u, 3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro, BelowBoundsAndCoverage) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5'000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // every residue appears
+}
+
+TEST(Xoshiro, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Xoshiro, ExponentialMean) {
+  Xoshiro256 rng(17);
+  double sum = 0.0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(4.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(Xoshiro, GaussianMoments) {
+  Xoshiro256 rng(19);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.gaussian(10.0, 2.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfSampler z(100, 1.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < z.n(); ++i) total += z.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfMonotonicallyDecreasing) {
+  ZipfSampler z(50, 1.2);
+  for (std::size_t i = 1; i < z.n(); ++i) {
+    EXPECT_GE(z.pmf(i - 1), z.pmf(i));
+  }
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  ZipfSampler z(10, 0.0);
+  for (std::size_t i = 0; i < z.n(); ++i) {
+    EXPECT_NEAR(z.pmf(i), 0.1, 1e-12);
+  }
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+  ZipfSampler z(20, 1.0);
+  Xoshiro256 rng(23);
+  std::vector<int> counts(20, 0);
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const std::size_t r = z.sample(rng);
+    ASSERT_LT(r, 20u);
+    ++counts[r];
+  }
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double expected = z.pmf(i) * kN;
+    EXPECT_NEAR(counts[i], expected, 5.0 * std::sqrt(expected) + 5.0)
+        << "rank " << i;
+  }
+}
+
+TEST(DeriveSeed, StableAndDistinct) {
+  EXPECT_EQ(derive_seed(1, 10), derive_seed(1, 10));
+  EXPECT_NE(derive_seed(1, 10), derive_seed(1, 11));
+  EXPECT_NE(derive_seed(1, 10), derive_seed(2, 10));
+}
+
+TEST(HashBytes, StableAndSensitive) {
+  const char a[] = "hello";
+  const char b[] = "hellp";
+  EXPECT_EQ(hash_bytes(a, 5), hash_bytes(a, 5));
+  EXPECT_NE(hash_bytes(a, 5), hash_bytes(b, 5));
+  EXPECT_NE(hash_bytes(a, 4), hash_bytes(a, 5));
+}
+
+TEST(HashU64s, OrderSensitive) {
+  EXPECT_NE(hash_u64s({1, 2}), hash_u64s({2, 1}));
+  EXPECT_EQ(hash_u64s({1, 2, 3}), hash_u64s({1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace pythia::util

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace pythia::util {
+namespace {
+
+TEST(Table, AlignedOutput) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.to_string();
+  // Header and both rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // All lines have equal width (alignment invariant).
+  std::istringstream in(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "line: " << line;
+  }
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::percent(0.4567), "45.7%");
+  EXPECT_EQ(Table::percent(0.031, 0), "3%");
+  EXPECT_EQ(Table::seconds(12.345), "12.3 s");
+}
+
+TEST(Csv, EscapeRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = testing::TempDir() + "/pythia_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.write_row({"1", "x,y"});
+    csv.write_row({"2", "z"});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "a,b");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1,\"x,y\"");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "2,z");
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pythia::util

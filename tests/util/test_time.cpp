@@ -1,0 +1,69 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pythia::util {
+namespace {
+
+TEST(Duration, Constructors) {
+  EXPECT_EQ(Duration::millis(5).ns(), 5'000'000);
+  EXPECT_EQ(Duration::micros(7).ns(), 7'000);
+  EXPECT_EQ(Duration::seconds_i(2).ns(), 2'000'000'000LL);
+  EXPECT_EQ(Duration::from_seconds(1.5).ns(), 1'500'000'000LL);
+  EXPECT_EQ(Duration::zero().ns(), 0);
+}
+
+TEST(Duration, SecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(Duration::millis(250).seconds(), 0.25);
+  EXPECT_EQ(Duration::from_seconds(0.25).ns(), 250'000'000);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(100);
+  const Duration b = Duration::millis(40);
+  EXPECT_EQ((a + b).ns(), Duration::millis(140).ns());
+  EXPECT_EQ((a - b).ns(), Duration::millis(60).ns());
+  EXPECT_EQ((a * 3).ns(), Duration::millis(300).ns());
+  EXPECT_LT(b, a);
+}
+
+TEST(SimTime, ArithmeticWithDuration) {
+  const SimTime t = SimTime::from_seconds(10.0);
+  EXPECT_EQ((t + Duration::seconds_i(5)).seconds(), 15.0);
+  EXPECT_EQ((t - Duration::seconds_i(4)).seconds(), 6.0);
+  EXPECT_EQ((t - SimTime::from_seconds(4.0)).seconds(), 6.0);
+  EXPECT_LT(SimTime::zero(), t);
+}
+
+TEST(TransferTime, Analytic) {
+  // 1 GB at 8 Gbps == 1 second.
+  EXPECT_EQ(transfer_time(Bytes{1'000'000'000}, BitsPerSec{8e9}).ns(),
+            1'000'000'000);
+  // 1 MB at 8 Mbps == 1 second.
+  EXPECT_EQ(transfer_time(1_MB, BitsPerSec{8e6}).ns(), 1'000'000'000);
+}
+
+TEST(TransferTime, ZeroRateIsInfinite) {
+  EXPECT_EQ(transfer_time(1_MB, BitsPerSec::zero()), Duration::max());
+  EXPECT_EQ(transfer_time(1_MB, BitsPerSec{-5.0}), Duration::max());
+}
+
+TEST(TransferTime, HugeSpanSaturates) {
+  EXPECT_EQ(transfer_time(Bytes::max(), BitsPerSec{1.0}), Duration::max());
+}
+
+TEST(BytesIn, Analytic) {
+  EXPECT_EQ(bytes_in(Duration::seconds_i(2), BitsPerSec{8e6}).count(),
+            2'000'000);
+  EXPECT_EQ(bytes_in(Duration::zero(), BitsPerSec{8e9}).count(), 0);
+}
+
+TEST(FormatDuration, Ranges) {
+  EXPECT_EQ(format_duration(Duration::from_seconds(12.5)), "12.500 s");
+  EXPECT_EQ(format_duration(Duration::millis(8)), "8.000 ms");
+  EXPECT_EQ(format_duration(Duration::micros(15)), "15.000 us");
+  EXPECT_EQ(format_duration(Duration::max()), "inf");
+}
+
+}  // namespace
+}  // namespace pythia::util

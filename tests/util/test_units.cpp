@@ -1,0 +1,79 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pythia::util {
+namespace {
+
+TEST(Bytes, LiteralsAndCount) {
+  EXPECT_EQ((5_B).count(), 5);
+  EXPECT_EQ((3_KB).count(), 3000);
+  EXPECT_EQ((2_MB).count(), 2'000'000);
+  EXPECT_EQ((7_GB).count(), 7'000'000'000LL);
+}
+
+TEST(Bytes, Arithmetic) {
+  Bytes a{100};
+  Bytes b{40};
+  EXPECT_EQ((a + b).count(), 140);
+  EXPECT_EQ((a - b).count(), 60);
+  EXPECT_EQ((a * 3).count(), 300);
+  EXPECT_EQ((3 * a).count(), 300);
+  a += b;
+  EXPECT_EQ(a.count(), 140);
+  a -= Bytes{40};
+  EXPECT_EQ(a.count(), 100);
+}
+
+TEST(Bytes, Ordering) {
+  EXPECT_LT(Bytes{1}, Bytes{2});
+  EXPECT_EQ(Bytes{5}, Bytes{5});
+  EXPECT_GT(Bytes{9}, Bytes{2});
+  EXPECT_LE(Bytes::zero(), Bytes{0});
+}
+
+TEST(Bytes, ScaledRoundsToNearest) {
+  EXPECT_EQ(Bytes{100}.scaled(0.5).count(), 50);
+  EXPECT_EQ(Bytes{3}.scaled(0.5).count(), 2);   // 1.5 + 0.5 -> 2
+  EXPECT_EQ(Bytes{100}.scaled(1.057).count(), 106);
+  EXPECT_EQ(Bytes{1'000'000}.scaled(0.0).count(), 0);
+}
+
+TEST(Bytes, AsDoubleMatchesCount) {
+  EXPECT_DOUBLE_EQ(Bytes{123456789}.as_double(), 123456789.0);
+}
+
+TEST(BitsPerSec, LiteralsAndConversion) {
+  EXPECT_DOUBLE_EQ((10_Gbps).bps(), 10e9);
+  EXPECT_DOUBLE_EQ((100_Mbps).bps(), 1e8);
+  EXPECT_DOUBLE_EQ((8_Gbps).bytes_per_sec(), 1e9);
+}
+
+TEST(BitsPerSec, Arithmetic) {
+  BitsPerSec r{1000.0};
+  EXPECT_DOUBLE_EQ((r + BitsPerSec{500.0}).bps(), 1500.0);
+  EXPECT_DOUBLE_EQ((r - BitsPerSec{400.0}).bps(), 600.0);
+  EXPECT_DOUBLE_EQ((r * 2.0).bps(), 2000.0);
+  EXPECT_DOUBLE_EQ((2.0 * r).bps(), 2000.0);
+  EXPECT_DOUBLE_EQ((r / 4.0).bps(), 250.0);
+  r += BitsPerSec{1.0};
+  EXPECT_DOUBLE_EQ(r.bps(), 1001.0);
+}
+
+TEST(Formatting, Bytes) {
+  EXPECT_EQ(format_bytes(Bytes{512}), "512 B");
+  EXPECT_EQ(format_bytes(2_KB), "2.00 KB");
+  EXPECT_EQ(format_bytes(Bytes{1'500'000}), "1.50 MB");
+  EXPECT_EQ(format_bytes(240_GB), "240.00 GB");
+  EXPECT_EQ(format_bytes(Bytes{3'000'000'000'000LL}), "3.00 TB");
+}
+
+TEST(Formatting, Rate) {
+  EXPECT_EQ(format_rate(10_Gbps), "10.00 Gbps");
+  EXPECT_EQ(format_rate(BitsPerSec{2.5e6}), "2.50 Mbps");
+  EXPECT_EQ(format_rate(BitsPerSec{900.0}), "900.00 bps");
+  EXPECT_EQ(format_rate(BitsPerSec{42e3}), "42.00 Kbps");
+}
+
+}  // namespace
+}  // namespace pythia::util

@@ -1,0 +1,111 @@
+#include "viz/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "test_fixtures.hpp"
+#include "viz/timeline_export.hpp"
+#include "workloads/hibench.hpp"
+
+namespace pythia::viz {
+namespace {
+
+using pythia::testing::TestCluster;
+using pythia::testing::small_job;
+
+hadoop::JobResult run_toy() {
+  TestCluster cluster(7);
+  return cluster.run(workloads::toy_skewed_sort());
+}
+
+TEST(Gantt, SequenceDiagramContainsAllPhases) {
+  const auto result = run_toy();
+  const std::string out = render_sequence_diagram(result);
+  EXPECT_NE(out.find('='), std::string::npos);  // map spans
+  EXPECT_NE(out.find('~'), std::string::npos);  // shuffle spans
+  EXPECT_NE(out.find('#'), std::string::npos);  // reduce spans
+  EXPECT_NE(out.find("map-0000"), std::string::npos);
+  EXPECT_NE(out.find("red-0001"), std::string::npos);
+  EXPECT_NE(out.find(result.name), std::string::npos);
+}
+
+TEST(Gantt, ElidesExcessMapRows) {
+  TestCluster cluster;
+  const auto result = cluster.run(small_job(30, 2));
+  GanttOptions opts;
+  opts.max_map_rows = 5;
+  const std::string out = render_sequence_diagram(result, opts);
+  EXPECT_NE(out.find("25 more map tasks elided"), std::string::npos);
+  EXPECT_EQ(out.find("map-0005"), std::string::npos);
+}
+
+TEST(Gantt, RowsRespectWidth) {
+  const auto result = run_toy();
+  GanttOptions opts;
+  opts.width = 40;
+  const std::string out = render_sequence_diagram(result, opts);
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find('|') == std::string::npos) continue;
+    // "xxx-NNNN |<width chars>|" -> 8 label + " |" + width + "|"
+    EXPECT_EQ(line.size(), 8 + 2 + opts.width + 1) << line;
+  }
+}
+
+TEST(Gantt, ReducerSummaryShowsSkew) {
+  const auto result = run_toy();
+  const std::string out = render_reducer_summary(result);
+  EXPECT_NE(out.find("reducer"), std::string::npos);
+  EXPECT_NE(out.find("1.67x"), std::string::npos);  // 5:1 skew -> 5/3 vs mean
+  EXPECT_NE(out.find("0.33x"), std::string::npos);
+}
+
+TEST(Gantt, PhaseSummaryHasThreePhases) {
+  const auto result = run_toy();
+  const std::string out = render_phase_summary(result);
+  EXPECT_NE(out.find("map"), std::string::npos);
+  EXPECT_NE(out.find("shuffle (tail)"), std::string::npos);
+  EXPECT_NE(out.find("reduce (tail)"), std::string::npos);
+}
+
+TEST(TimelineExport, CsvHasAllRows) {
+  const auto result = run_toy();
+  const std::string path = ::testing::TempDir() + "/pythia_timeline.csv";
+  export_timeline_csv(result, path);
+  std::ifstream in(path);
+  std::string line;
+  std::size_t rows = 0;
+  std::size_t fetch_rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+    if (line.rfind("fetch", 0) == 0) ++fetch_rows;
+  }
+  // header + 3 maps + 2*2 reducer rows + 6 fetches.
+  EXPECT_EQ(rows, 1u + 3u + 4u + 6u);
+  EXPECT_EQ(fetch_rows, 6u);
+  std::remove(path.c_str());
+}
+
+TEST(TimelineExport, PredictionCsv) {
+  const std::string path = ::testing::TempDir() + "/pythia_pred.csv";
+  std::vector<core::PredictionPoint> predicted{
+      {util::SimTime::from_seconds(1.0), util::Bytes{100}}};
+  std::vector<net::VolumePoint> measured{
+      {util::SimTime::from_seconds(2.0), util::Bytes{90}},
+      {util::SimTime::from_seconds(3.0), util::Bytes{100}}};
+  export_prediction_csv(predicted, measured, path);
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("predicted"), std::string::npos);
+  EXPECT_NE(all.find("measured"), std::string::npos);
+  EXPECT_EQ(std::count(all.begin(), all.end(), '\n'), 4);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pythia::viz

@@ -1,0 +1,103 @@
+#include "workloads/hibench.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+
+namespace pythia::workloads {
+namespace {
+
+using util::Bytes;
+
+TEST(Hibench, PaperSortConfiguration) {
+  const auto spec = paper_sort();
+  EXPECT_EQ(spec.name, "sort");
+  EXPECT_EQ(spec.input.count(), 240'000'000'000LL);
+  EXPECT_DOUBLE_EQ(spec.map_output_ratio, 1.0);
+  EXPECT_EQ(spec.num_reducers, 20u);
+  EXPECT_EQ(spec.num_maps(), 938u);  // 240 GB / 256 MB, rounded up
+  EXPECT_EQ(spec.expected_shuffle_volume().count(), 240'000'000'000LL);
+}
+
+TEST(Hibench, PaperNutchConfiguration) {
+  const auto spec = paper_nutch();
+  EXPECT_EQ(spec.name, "nutch-indexing");
+  EXPECT_EQ(spec.input.count(), 8'000'000'000LL);  // 5M pages x 1600 B
+  EXPECT_GT(spec.map_output_ratio, 1.0);           // index expansion
+  // Nutch's flows are smaller than Sort's: more maps per input byte.
+  const auto sort = paper_sort();
+  const double nutch_flow = spec.expected_shuffle_volume().as_double() /
+                            static_cast<double>(spec.num_maps()) /
+                            static_cast<double>(spec.num_reducers);
+  const double sort_flow = sort.expected_shuffle_volume().as_double() /
+                           static_cast<double>(sort.num_maps()) /
+                           static_cast<double>(sort.num_reducers);
+  EXPECT_LT(nutch_flow, sort_flow);
+}
+
+TEST(Hibench, IntegerSort60g) {
+  const auto spec = integer_sort_60g();
+  EXPECT_EQ(spec.input.count(), 60'000'000'000LL);
+  EXPECT_DOUBLE_EQ(spec.map_output_ratio, 1.0);
+}
+
+TEST(Hibench, WordcountShuffleIsReduced) {
+  const auto spec = wordcount(Bytes{10'000'000'000LL}, 8);
+  EXPECT_LT(spec.map_output_ratio, 0.5);  // combiners collapse duplicates
+  EXPECT_EQ(spec.skew.kind, hadoop::SkewKind::kZipf);
+  EXPECT_GE(spec.skew.zipf_s, 1.0);  // natural-language skew
+}
+
+TEST(Hibench, TerasortIsBalanced) {
+  const auto spec = terasort(Bytes{10'000'000'000LL}, 8);
+  EXPECT_EQ(spec.skew.kind, hadoop::SkewKind::kUniform);
+  EXPECT_DOUBLE_EQ(spec.map_output_ratio, 1.0);
+}
+
+TEST(Hibench, PagerankModeratelySkewed) {
+  const auto spec = pagerank_iteration(Bytes{5'000'000'000LL}, 8);
+  EXPECT_GT(spec.map_output_ratio, 1.0);
+  EXPECT_EQ(spec.skew.kind, hadoop::SkewKind::kZipf);
+}
+
+TEST(Hibench, NumMapsRounding) {
+  hadoop::JobSpec spec;
+  spec.input = Bytes{100};
+  spec.block = Bytes{64};
+  EXPECT_EQ(spec.num_maps(), 2u);
+  spec.num_maps_override = 7;
+  EXPECT_EQ(spec.num_maps(), 7u);
+  spec.num_maps_override = 0;
+  spec.input = Bytes{64};
+  EXPECT_EQ(spec.num_maps(), 1u);
+}
+
+TEST(Hibench, ToyJobReproducesFig1aSkew) {
+  pythia::testing::TestCluster cluster(7);
+  const auto result = cluster.run(toy_skewed_sort());
+  ASSERT_EQ(result.reducers.size(), 2u);
+  const auto loads = result.reducer_load_profile();
+  EXPECT_NEAR(loads[0] / loads[1], 5.0, 0.5);
+}
+
+TEST(Hibench, AllSpecsRunToCompletionWhenScaledDown) {
+  // Every generator must produce a runnable job; scale inputs down so the
+  // whole suite stays fast.
+  std::vector<hadoop::JobSpec> specs = {
+      sort_job(Bytes{2'000'000'000}, 4),
+      nutch_indexing(100'000, 4),
+      wordcount(Bytes{2'000'000'000}, 4),
+      terasort(Bytes{2'000'000'000}, 4),
+      pagerank_iteration(Bytes{2'000'000'000}, 4),
+      toy_skewed_sort(),
+  };
+  for (const auto& spec : specs) {
+    pythia::testing::TestCluster cluster(11);
+    const auto result = cluster.run(spec);
+    EXPECT_GT(result.completion_time().seconds(), 0.0) << spec.name;
+    EXPECT_EQ(result.maps.size(), spec.num_maps()) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace pythia::workloads

@@ -1,0 +1,99 @@
+#include "workloads/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiments/scenario.hpp"
+
+namespace pythia::workloads {
+namespace {
+
+TEST(Trace, DeterministicForSeed) {
+  const TraceConfig cfg;
+  const auto a = generate_trace(cfg, 7);
+  const auto b = generate_trace(cfg, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_at, b[i].submit_at);
+    EXPECT_EQ(a[i].spec.name, b[i].spec.name);
+    EXPECT_EQ(a[i].spec.input, b[i].spec.input);
+  }
+  const auto c = generate_trace(cfg, 8);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a[i].spec.input != c[i].spec.input;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Trace, RespectsConfigBounds) {
+  TraceConfig cfg;
+  cfg.jobs = 50;
+  cfg.min_input = util::Bytes{1'000'000'000};
+  cfg.max_input = util::Bytes{10'000'000'000};
+  cfg.min_reducers = 3;
+  cfg.max_reducers = 9;
+  const auto trace = generate_trace(cfg, 11);
+  ASSERT_EQ(trace.size(), 50u);
+  for (const auto& e : trace) {
+    EXPECT_GE(e.spec.input, cfg.min_input);
+    EXPECT_LE(e.spec.input, cfg.max_input);
+    EXPECT_GE(e.spec.num_reducers, 3u);
+    EXPECT_LE(e.spec.num_reducers, 9u);
+  }
+}
+
+TEST(Trace, ArrivalsAreSortedAndSpread) {
+  TraceConfig cfg;
+  cfg.jobs = 30;
+  const auto trace = generate_trace(cfg, 13);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].submit_at, trace[i - 1].submit_at);
+  }
+  // Poisson(mean 30 s) over 30 jobs: total span is in the right ballpark.
+  const double span = trace.back().submit_at.seconds();
+  EXPECT_GT(span, 200.0);
+  EXPECT_LT(span, 3000.0);
+}
+
+TEST(Trace, MixesJobClasses) {
+  TraceConfig cfg;
+  cfg.jobs = 40;
+  cfg.shuffle_heavy_fraction = 0.5;
+  const auto trace = generate_trace(cfg, 17);
+  std::size_t sorts = 0;
+  std::size_t aggs = 0;
+  for (const auto& e : trace) {
+    if (e.spec.name.rfind("trace-sort", 0) == 0) ++sorts;
+    if (e.spec.name.rfind("trace-agg", 0) == 0) ++aggs;
+  }
+  EXPECT_EQ(sorts + aggs, 40u);
+  EXPECT_GT(sorts, 8u);
+  EXPECT_GT(aggs, 8u);
+}
+
+TEST(Trace, RunsEndToEnd) {
+  TraceConfig cfg;
+  cfg.jobs = 5;
+  cfg.max_input = util::Bytes{4'000'000'000};
+  cfg.mean_interarrival = util::Duration::seconds_i(10);
+  const auto trace = generate_trace(cfg, 19);
+
+  exp::ScenarioConfig scenario_cfg;
+  scenario_cfg.seed = 19;
+  scenario_cfg.scheduler = exp::SchedulerKind::kPythia;
+  scenario_cfg.background.oversubscription = 5.0;
+  exp::Scenario scenario(scenario_cfg);
+
+  std::size_t done = 0;
+  for (const auto& entry : trace) {
+    scenario.simulation().at(entry.submit_at, [&scenario, &entry, &done] {
+      scenario.engine().submit(entry.spec,
+                               [&done](const hadoop::JobResult&) { ++done; });
+    });
+  }
+  scenario.simulation().run();
+  EXPECT_EQ(done, trace.size());
+}
+
+}  // namespace
+}  // namespace pythia::workloads
