@@ -1,0 +1,169 @@
+// Ablation A6 — lossy control plane (robustness tentpole).
+//
+// The evaluation question: what happens to Pythia's speedup when the two
+// control channels it lives on — instrumentation→collector intents and
+// controller→switch flow-mods — start dropping, delaying, and rejecting?
+// The required shape is graceful degradation: completion time decays
+// monotonically (within noise) from the full speedup at 0% faults toward
+// ECMP parity at total loss, and never falls below the ECMP floor, because
+// the health watchdog abandons Pythia for plain ECMP when the control plane
+// is effectively dead.
+//
+// Four sweeps on a 60 GB sort at 1:10 over-subscription:
+//  (a) intent loss 0→100%, ECMP vs Pythia, with watchdog counters;
+//  (b) install faults (flow-mod loss × reject probability) with the retry
+//      ladder's accounting;
+//  (c) intent delay jitter (stale predictions rather than lost ones);
+//  (d) per-switch flow-table capacity (evictions under pressure).
+#include <cstdio>
+
+#include "experiments/scenario.hpp"
+#include "experiments/sweep.hpp"
+#include "workloads/hibench.hpp"
+
+namespace {
+
+using namespace pythia;
+using util::Duration;
+
+struct Run {
+  double seconds = 0.0;
+  std::uint64_t dropped = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t reengagements = 0;
+  std::uint64_t rules = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t abandoned = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t table_rejects = 0;
+  std::uint64_t expired = 0;
+};
+
+Run run_pythia(const exp::ControlPlaneFaultProfile& profile,
+               std::uint64_t seed) {
+  exp::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.scheduler = exp::SchedulerKind::kPythia;
+  cfg.background.oversubscription = 10.0;
+  exp::apply_control_plane_faults(cfg, profile);
+  exp::Scenario scenario(std::move(cfg));
+  const auto job =
+      workloads::sort_job(util::Bytes{60LL * 1000 * 1000 * 1000}, 20);
+  Run out;
+  out.seconds = scenario.run_job(job).completion_time().seconds();
+  const auto& py = *scenario.pythia();
+  out.dropped = py.instrumentation().channel().messages_dropped() +
+                scenario.controller().flow_mod_channel().messages_dropped();
+  out.fallbacks = py.watchdog().fallbacks();
+  out.reengagements = py.watchdog().reengagements();
+  out.rules = scenario.controller().rules_installed();
+  out.retries = scenario.controller().install_retries();
+  out.abandoned = scenario.controller().installs_abandoned();
+  out.evictions = scenario.controller().table_evictions();
+  out.table_rejects = scenario.controller().table_rejects();
+  out.expired = py.collector().intents_expired();
+  return out;
+}
+
+double run_ecmp(std::uint64_t seed) {
+  exp::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.scheduler = exp::SchedulerKind::kEcmp;
+  cfg.background.oversubscription = 10.0;
+  return exp::run_completion_seconds(
+      cfg, workloads::sort_job(util::Bytes{60LL * 1000 * 1000 * 1000}, 20));
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSeed = 4;
+  const double ecmp = run_ecmp(kSeed);
+  std::printf("ECMP baseline: %.1f s (seed %llu)\n\n", ecmp,
+              static_cast<unsigned long long>(kSeed));
+
+  std::printf("=== A6a: intent loss sweep (prediction channel) ===\n\n");
+  {
+    util::Table table({"intent loss", "Pythia (s)", "vs ECMP", "dropped",
+                       "rules", "fallbacks", "re-engaged"});
+    for (const double loss : {0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+      exp::ControlPlaneFaultProfile p;
+      p.intent_loss = loss;
+      const Run r = run_pythia(p, kSeed);
+      table.add_row({util::Table::percent(loss), util::Table::num(r.seconds, 1),
+                     util::Table::percent(r.seconds / ecmp - 1.0),
+                     std::to_string(r.dropped), std::to_string(r.rules),
+                     std::to_string(r.fallbacks),
+                     std::to_string(r.reengagements)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  std::printf("=== A6b: install faults (flow-mod loss x switch rejects) ===\n\n");
+  {
+    util::Table table({"flow-mod loss", "reject p", "Pythia (s)", "vs ECMP",
+                       "retries", "abandoned", "fallbacks"});
+    struct P {
+      double loss, reject;
+    };
+    for (const P p : {P{0.0, 0.0}, P{0.2, 0.0}, P{0.0, 0.2}, P{0.2, 0.2},
+                      P{0.5, 0.5}, P{0.9, 0.9}}) {
+      exp::ControlPlaneFaultProfile profile;
+      profile.flow_mod_loss = p.loss;
+      profile.install_reject = p.reject;
+      const Run r = run_pythia(profile, kSeed);
+      table.add_row({util::Table::percent(p.loss),
+                     util::Table::percent(p.reject),
+                     util::Table::num(r.seconds, 1),
+                     util::Table::percent(r.seconds / ecmp - 1.0),
+                     std::to_string(r.retries), std::to_string(r.abandoned),
+                     std::to_string(r.fallbacks)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  std::printf("=== A6c: intent delay jitter (stale predictions) ===\n\n");
+  {
+    util::Table table({"jitter", "Pythia (s)", "vs ECMP", "expired",
+                       "fallbacks"});
+    for (const std::int64_t ms : {0LL, 100LL, 500LL, 2000LL, 10000LL}) {
+      exp::ControlPlaneFaultProfile p;
+      p.intent_jitter = Duration::millis(ms);
+      const Run r = run_pythia(p, kSeed);
+      table.add_row({util::format_duration(Duration::millis(ms)),
+                     util::Table::num(r.seconds, 1),
+                     util::Table::percent(r.seconds / ecmp - 1.0),
+                     std::to_string(r.expired),
+                     std::to_string(r.fallbacks)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  std::printf("=== A6d: per-switch flow-table capacity ===\n\n");
+  {
+    util::Table table({"table size", "Pythia (s)", "vs ECMP", "evictions",
+                       "refused"});
+    for (const std::size_t cap : {0UL, 64UL, 16UL, 8UL, 4UL, 2UL, 1UL}) {
+      exp::ControlPlaneFaultProfile p;
+      p.flow_table_capacity = cap;
+      const Run r = run_pythia(p, kSeed);
+      table.add_row({cap == 0 ? "unbounded" : std::to_string(cap),
+                     util::Table::num(r.seconds, 1),
+                     util::Table::percent(r.seconds / ecmp - 1.0),
+                     std::to_string(r.evictions),
+                     std::to_string(r.table_rejects)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  std::printf(
+      "expected shape: completion decays from the full speedup at zero "
+      "faults toward ECMP parity as\neach fault axis saturates — at total "
+      "intent loss the watchdog's fallback makes the run\n*identical* to "
+      "ECMP, and every saturated axis lands within a couple percent of the "
+      "ECMP floor.\nInstall faults cost retries and a few abandoned rules "
+      "long before they cost wall-clock; tiny\nflow tables trade rule "
+      "coverage for admission refusals, degrading toward ECMP as capacity\n"
+      "goes to 1.\n");
+  return 0;
+}

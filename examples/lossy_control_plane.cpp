@@ -1,0 +1,76 @@
+// Lossy control plane: run the same sort job three times — clean control
+// plane, 30 % intent loss, and a dead prediction channel — and watch the
+// degradation story play out. With moderate loss Pythia keeps most of its
+// speedup (surviving intents still cover the big aggregates); with total
+// loss the health watchdog notices the silence and falls the system back to
+// plain ECMP, so the run costs exactly the ECMP baseline and never more.
+//
+//   ./build/examples/lossy_control_plane
+#include <cstdio>
+
+#include "experiments/scenario.hpp"
+#include "experiments/sweep.hpp"
+#include "workloads/hibench.hpp"
+
+namespace {
+
+using namespace pythia;
+
+struct Outcome {
+  double seconds = 0.0;
+  std::uint64_t dropped = 0;
+  std::uint64_t rules = 0;
+  std::uint64_t fallbacks = 0;
+};
+
+Outcome run(double intent_loss) {
+  exp::ScenarioConfig cfg;
+  cfg.seed = 4;
+  cfg.scheduler = exp::SchedulerKind::kPythia;
+  cfg.background.oversubscription = 10.0;
+  exp::ControlPlaneFaultProfile profile;
+  profile.intent_loss = intent_loss;
+  exp::apply_control_plane_faults(cfg, profile);
+
+  exp::Scenario scenario(std::move(cfg));
+  const auto job =
+      workloads::sort_job(util::Bytes{60LL * 1000 * 1000 * 1000}, 20);
+  Outcome out;
+  out.seconds = scenario.run_job(job).completion_time().seconds();
+  const auto& py = *scenario.pythia();
+  out.dropped = py.instrumentation().channel().messages_dropped();
+  out.rules = scenario.controller().rules_installed();
+  out.fallbacks = py.watchdog().fallbacks();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pythia;
+
+  exp::ScenarioConfig ecfg;
+  ecfg.seed = 4;
+  ecfg.scheduler = exp::SchedulerKind::kEcmp;
+  ecfg.background.oversubscription = 10.0;
+  const double ecmp = exp::run_completion_seconds(
+      ecfg, workloads::sort_job(util::Bytes{60LL * 1000 * 1000 * 1000}, 20));
+  std::printf("ECMP baseline:            %6.1f s\n\n", ecmp);
+
+  for (const double loss : {0.0, 0.3, 1.0}) {
+    const Outcome o = run(loss);
+    std::printf("Pythia, %3.0f%% intent loss: %6.1f s  (%+.1f%% vs ECMP; "
+                "%llu intents dropped, %llu rules, %llu fallback(s))\n",
+                100.0 * loss, o.seconds, 100.0 * (o.seconds / ecmp - 1.0),
+                static_cast<unsigned long long>(o.dropped),
+                static_cast<unsigned long long>(o.rules),
+                static_cast<unsigned long long>(o.fallbacks));
+  }
+
+  std::printf(
+      "\nThe watchdog's guarantee: when the prediction channel goes dark, "
+      "Pythia\nsteps aside and the job pays the ECMP price — never more. "
+      "See\ndocs/robustness.md and bench/ablation_control_plane for the "
+      "full sweeps.\n");
+  return 0;
+}

@@ -46,15 +46,15 @@ net::Path Allocator::effective_path(const net::Path& chosen) const {
   return chain;
 }
 
-void Allocator::install(net::NodeId src, net::NodeId dst,
-                        const net::Path& chosen) {
+bool Allocator::install(net::NodeId src, net::NodeId dst,
+                        const net::Path& chosen, util::Bytes volume_hint) {
   if (cfg_.aggregation == Aggregation::kServerPair) {
-    controller_->install_path(src, dst, chosen);
-    return;
+    return controller_->install_path(src, dst, chosen, volume_hint);
   }
   const auto& topo = controller_->topology();
   controller_->install_rack_path(topo.node(src).rack, topo.node(dst).rack,
                                  effective_path(chosen));
+  return true;
 }
 
 double Allocator::drain_time_seconds(const net::Path& path,
@@ -111,6 +111,15 @@ void Allocator::add_predicted_volume(net::NodeId src_server,
                                      util::Bytes wire_bytes) {
   assert(wire_bytes >= util::Bytes::zero());
   Aggregate& agg = aggregates_[aggregate_key(src_server, dst_server)];
+  agg.src = src_server;
+  agg.dst = dst_server;
+
+  if (suspended_) {
+    // Watchdog fallback: keep the books, touch nothing in the network.
+    agg.outstanding += wire_bytes.count();
+    ++installs_suppressed_;
+    return;
+  }
 
   if (!agg.installed || agg.outstanding == 0) {
     // Fresh (or fully drained) aggregate: (re)allocate against the current
@@ -123,15 +132,62 @@ void Allocator::add_predicted_volume(net::NodeId src_server,
       agg.outstanding += wire_bytes.count();
       return;
     }
+    if (!install(src_server, dst_server, *chosen,
+                 util::Bytes{agg.outstanding + wire_bytes.count()})) {
+      // Controller refused the rule (full flow table, stale path): the
+      // aggregate rides ECMP, so packing the chosen path would poison the
+      // books for every later allocation.
+      ++installs_refused_;
+      agg.installed = false;
+      agg.outstanding += wire_bytes.count();
+      return;
+    }
     const net::Path packed = effective_path(*chosen);
     if (agg.installed && !(agg.path == packed)) ++reallocations_;
     agg.path = packed;
     agg.installed = true;
     ++allocations_;
-    install(src_server, dst_server, *chosen);
   }
   agg.outstanding += wire_bytes.count();
   pack_onto(agg.path, wire_bytes.count());
+}
+
+void Allocator::suspend() {
+  if (suspended_) return;
+  suspended_ = true;
+  for (auto& [_, agg] : aggregates_) agg.installed = false;
+  std::fill(link_outstanding_.begin(), link_outstanding_.end(), 0);
+}
+
+void Allocator::resume() {
+  if (!suspended_) return;
+  suspended_ = false;
+  // Re-allocate every live aggregate, largest first (the same FFD order the
+  // collector uses), against the network as it looks right now.
+  std::vector<std::pair<std::uint64_t, Aggregate*>> live;
+  for (auto& [key, agg] : aggregates_) {
+    if (agg.outstanding > 0) live.emplace_back(key, &agg);
+  }
+  std::sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
+    if (a.second->outstanding != b.second->outstanding) {
+      return a.second->outstanding > b.second->outstanding;
+    }
+    return a.first < b.first;
+  });
+  for (auto& [key, agg] : live) {
+    const net::Path* chosen =
+        choose_path(agg->src, agg->dst, util::Bytes{agg->outstanding});
+    if (chosen == nullptr) continue;
+    if (!install(agg->src, agg->dst, *chosen,
+                 util::Bytes{agg->outstanding})) {
+      ++installs_refused_;
+      continue;
+    }
+    agg->path = effective_path(*chosen);
+    agg->installed = true;
+    ++allocations_;
+    pack_onto(agg->path, agg->outstanding);
+  }
 }
 
 void Allocator::retire_volume(net::NodeId src_server, net::NodeId dst_server,

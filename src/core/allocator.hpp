@@ -46,13 +46,23 @@ class Allocator {
   Allocator(sdn::Controller& controller, AllocatorConfig cfg = {});
 
   /// Adds predicted volume for an aggregate; allocates and installs a path
-  /// the first time an idle aggregate becomes live.
+  /// the first time an idle aggregate becomes live. While suspended, volume
+  /// is tracked but nothing is installed (traffic stays on ECMP).
   void add_predicted_volume(net::NodeId src_server, net::NodeId dst_server,
                             util::Bytes wire_bytes);
 
   /// Retires volume as the corresponding transfers complete.
   void retire_volume(net::NodeId src_server, net::NodeId dst_server,
                      util::Bytes wire_bytes);
+
+  /// Control-plane fallback (watchdog): stop installing, forget every path
+  /// assignment, and zero the per-link packing state. Outstanding volumes
+  /// are kept — they still describe pending transfers.
+  void suspend();
+  /// Re-engage after recovery: re-allocates every live aggregate largest-
+  /// first against the current network state and reinstalls its rules.
+  void resume();
+  [[nodiscard]] bool suspended() const { return suspended_; }
 
   /// Outstanding predicted bytes currently assigned to a link.
   [[nodiscard]] util::Bytes link_outstanding(net::LinkId l) const;
@@ -62,6 +72,15 @@ class Allocator {
 
   [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
   [[nodiscard]] std::uint64_t reallocations() const { return reallocations_; }
+  /// Installs skipped because the allocator was suspended by the watchdog.
+  [[nodiscard]] std::uint64_t installs_suppressed() const {
+    return installs_suppressed_;
+  }
+  /// Installs the controller refused synchronously (full flow tables, stale
+  /// paths); the aggregate stayed on ECMP and nothing was packed.
+  [[nodiscard]] std::uint64_t installs_refused() const {
+    return installs_refused_;
+  }
 
   /// Expected drain time of `path` if `additional` bytes were packed onto it
   /// now (exposed for tests and the adversarial-allocation bench).
@@ -73,6 +92,10 @@ class Allocator {
     std::int64_t outstanding = 0;
     bool installed = false;
     net::Path path;  // full host path, or inter-rack chain (rack mode)
+    /// Last host pair seen for this aggregate (lets resume() re-allocate
+    /// without decoding keys; in rack mode, any representative pair).
+    net::NodeId src;
+    net::NodeId dst;
   };
   /// Host-pair key in server mode; rack-pair key (tagged) in rack mode.
   [[nodiscard]] std::uint64_t aggregate_key(net::NodeId src,
@@ -80,7 +103,9 @@ class Allocator {
   void pack_onto(const net::Path& path, std::int64_t bytes);
   [[nodiscard]] const net::Path* choose_path(net::NodeId src, net::NodeId dst,
                                              util::Bytes volume) const;
-  void install(net::NodeId src, net::NodeId dst, const net::Path& chosen);
+  [[nodiscard]] bool install(net::NodeId src, net::NodeId dst,
+                             const net::Path& chosen,
+                             util::Bytes volume_hint);
   /// Strips host access links when packing at rack granularity.
   [[nodiscard]] net::Path effective_path(const net::Path& chosen) const;
 
@@ -88,8 +113,11 @@ class Allocator {
   AllocatorConfig cfg_;
   std::unordered_map<std::uint64_t, Aggregate> aggregates_;
   std::vector<std::int64_t> link_outstanding_;
+  bool suspended_ = false;
   std::uint64_t allocations_ = 0;
   std::uint64_t reallocations_ = 0;
+  std::uint64_t installs_suppressed_ = 0;
+  std::uint64_t installs_refused_ = 0;
 };
 
 }  // namespace pythia::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/allocator.hpp"
+#include "core/watchdog.hpp"
 #include "util/log.hpp"
 
 namespace pythia::core {
@@ -11,14 +12,39 @@ Collector::Collector(sim::Simulation& sim, Allocator& allocator,
                      CollectorConfig cfg)
     : sim_(&sim), allocator_(&allocator), cfg_(cfg) {}
 
+void Collector::purge_expired() {
+  if (cfg_.intent_ttl <= util::Duration::zero()) return;
+  const util::SimTime now = sim_->now();
+  if (now < next_expiry_) return;
+
+  next_expiry_ = util::SimTime::max();
+  for (auto it = waiting_.begin(); it != waiting_.end();) {
+    auto& held = it->second;
+    std::erase_if(held, [&](const HeldIntent& h) {
+      if (now - h.held_at >= cfg_.intent_ttl) {
+        ++expired_;
+        return true;
+      }
+      next_expiry_ = std::min(next_expiry_, h.held_at + cfg_.intent_ttl);
+      return false;
+    });
+    it = held.empty() ? waiting_.erase(it) : ++it;
+  }
+}
+
 void Collector::ingest(const ShuffleIntent& intent) {
   ++received_;
+  if (watchdog_ != nullptr) watchdog_->note_notification(sim_->now());
+  purge_expired();
   const ReducerKey key{intent.job_serial, intent.reduce_index};
   const auto located = reducer_location_.find(key);
   if (located == reducer_location_.end()) {
     // Destination unknown until the reducer initializes (paper §III).
-    waiting_[key].push_back(intent);
+    waiting_[key].push_back(HeldIntent{intent, sim_->now()});
     ++held_;
+    if (cfg_.intent_ttl > util::Duration::zero()) {
+      next_expiry_ = std::min(next_expiry_, sim_->now() + cfg_.intent_ttl);
+    }
     return;
   }
   enqueue_update(intent.src_server, located->second,
@@ -28,14 +54,35 @@ void Collector::ingest(const ShuffleIntent& intent) {
 void Collector::reducer_located(std::size_t job_serial,
                                 std::size_t reduce_index,
                                 net::NodeId server) {
+  if (watchdog_ != nullptr) watchdog_->note_notification(sim_->now());
+  purge_expired();
   const ReducerKey key{job_serial, reduce_index};
   reducer_location_[key] = server;
   const auto it = waiting_.find(key);
   if (it == waiting_.end()) return;
-  for (const auto& intent : it->second) {
-    enqueue_update(intent.src_server, server, intent.predicted_wire_bytes);
+  for (const auto& held : it->second) {
+    enqueue_update(held.intent.src_server, server,
+                   held.intent.predicted_wire_bytes);
   }
   waiting_.erase(it);
+}
+
+void Collector::job_completed(std::size_t job_serial) {
+  const ReducerKey lo{job_serial, 0};
+  const ReducerKey hi{job_serial + 1, 0};
+  for (auto it = waiting_.lower_bound(lo);
+       it != waiting_.end() && it->first.job_serial == job_serial;) {
+    purged_on_completion_ += it->second.size();
+    it = waiting_.erase(it);
+  }
+  reducer_location_.erase(reducer_location_.lower_bound(lo),
+                          reducer_location_.lower_bound(hi));
+}
+
+std::size_t Collector::intents_waiting() const {
+  std::size_t total = 0;
+  for (const auto& [_, held] : waiting_) total += held.size();
+  return total;
 }
 
 const std::vector<PredictionPoint>& Collector::predicted_curve(
@@ -105,6 +152,10 @@ void Collector::fetch_completed(net::NodeId src_server, net::NodeId dst_server,
   const util::Bytes wire = retire_model_.predict_wire_bytes(payload);
   allocator_->retire_volume(src_server, dst_server, wire);
   auto& dst_total = dst_outstanding_[dst_server];
+  // Actual wire bytes can exceed what was predicted (the prediction may have
+  // been lost in transit, or under-estimated under skew); clamp at zero so
+  // the criticality proxy never goes negative, and count the desync.
+  if (dst_total < wire.count()) ++underflows_;
   dst_total = std::max<std::int64_t>(0, dst_total - wire.count());
 }
 

@@ -10,6 +10,11 @@
 //    unknowable in advance, so rules must match at server granularity);
 //  * hand batches of aggregate updates to the flow-allocation module,
 //    largest first (first-fit decreasing).
+//
+// The collector sits at the receiving end of a lossy management network
+// (sim::FaultChannel), so it also defends itself: held intents expire after a
+// TTL (a reducer-initialization event may have been lost, or the reducer may
+// never launch), and a job's residue is purged when the job completes.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +29,7 @@
 namespace pythia::core {
 
 class Allocator;
+class ControlPlaneWatchdog;
 
 struct CollectorConfig {
   /// Aggregation window: intents arriving within it are allocated jointly
@@ -34,6 +40,12 @@ struct CollectorConfig {
   /// flows feeding the barrier-critical reducer get first pick of paths.
   /// When false, plain first-fit-decreasing by aggregate volume.
   bool criticality_aware = true;
+  /// Held-intent TTL: an intent whose reducer location never materializes
+  /// (lost reducer-init message, reducer never launched) is dropped this
+  /// long after arrival. Purging is lazy — no events are scheduled — so a
+  /// fault-free run whose reducers start within the TTL is byte-identical
+  /// to one without the TTL. Zero disables expiry.
+  util::Duration intent_ttl = util::Duration::seconds_i(600);
 };
 
 class Collector {
@@ -53,6 +65,14 @@ class Collector {
   void fetch_completed(net::NodeId src_server, net::NodeId dst_server,
                        util::Bytes payload);
 
+  /// Job teardown: reclaims held intents and reducer locations for the job
+  /// so intents for never-launched reducers cannot leak across jobs.
+  void job_completed(std::size_t job_serial);
+
+  /// Health-watchdog hookup: every delivered notification is reported so the
+  /// watchdog can track control-plane staleness.
+  void set_watchdog(ControlPlaneWatchdog* watchdog) { watchdog_ = watchdog; }
+
   /// Outstanding predicted volume destined to a server (criticality proxy:
   /// the most-loaded reducer server gates the shuffle barrier).
   [[nodiscard]] util::Bytes destination_outstanding(net::NodeId dst) const;
@@ -65,8 +85,21 @@ class Collector {
     return held_;
   }
   [[nodiscard]] std::uint64_t batches_flushed() const { return batches_; }
+  /// Held intents dropped because their reducer location never arrived
+  /// within the TTL.
+  [[nodiscard]] std::uint64_t intents_expired() const { return expired_; }
+  /// Held intents reclaimed by job completion.
+  [[nodiscard]] std::uint64_t intents_purged_on_completion() const {
+    return purged_on_completion_;
+  }
+  /// Completed fetches whose wire bytes exceeded the remaining predicted
+  /// volume for the destination (prediction lost or under-estimated); the
+  /// outstanding counter is clamped at zero instead of going negative.
+  [[nodiscard]] std::uint64_t underflow_events() const { return underflows_; }
   /// Aggregates currently known (src-server, dst-server pairs ever seen).
   [[nodiscard]] std::size_t aggregate_count() const { return pair_seen_.size(); }
+  /// Intents currently parked waiting for a reducer location.
+  [[nodiscard]] std::size_t intents_waiting() const;
 
   /// Cumulative predicted wire volume that `server` will source towards
   /// *other* servers (Fig. 5's predicted curve); points are stamped when the
@@ -81,15 +114,24 @@ class Collector {
     std::size_t reduce_index;
     friend auto operator<=>(const ReducerKey&, const ReducerKey&) = default;
   };
+  struct HeldIntent {
+    ShuffleIntent intent;
+    util::SimTime held_at;  // arrival time; TTL counts from here
+  };
   void enqueue_update(net::NodeId src, net::NodeId dst, util::Bytes wire);
   void flush_batch();
+  /// Lazily drops held intents past the TTL; cheap when nothing can expire.
+  void purge_expired();
 
   sim::Simulation* sim_;
   Allocator* allocator_;
+  ControlPlaneWatchdog* watchdog_ = nullptr;
   CollectorConfig cfg_;
 
   std::map<ReducerKey, net::NodeId> reducer_location_;
-  std::map<ReducerKey, std::vector<ShuffleIntent>> waiting_;
+  std::map<ReducerKey, std::vector<HeldIntent>> waiting_;
+  /// Earliest possible held-intent expiry; SimTime::max() when none held.
+  util::SimTime next_expiry_ = util::SimTime::max();
 
   /// Batched aggregate additions keyed by (src, dst) server pair.
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> batch_;
@@ -103,6 +145,9 @@ class Collector {
   std::uint64_t received_ = 0;
   std::uint64_t held_ = 0;
   std::uint64_t batches_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t purged_on_completion_ = 0;
+  std::uint64_t underflows_ = 0;
   ProtocolOverheadModel retire_model_;
 };
 

@@ -7,7 +7,10 @@ namespace pythia::core {
 
 Instrumentation::Instrumentation(sim::Simulation& sim, Collector& collector,
                                  InstrumentationConfig cfg)
-    : sim_(&sim), collector_(&collector), cfg_(cfg) {}
+    : sim_(&sim),
+      collector_(&collector),
+      cfg_(cfg),
+      channel_(sim, "ctl.intent", cfg.channel) {}
 
 void Instrumentation::on_map_output_ready(
     const hadoop::MapOutputNotice& notice) {
@@ -33,9 +36,13 @@ void Instrumentation::on_map_output_ready(
   control_bytes_ +=
       intent_message_bytes(notice.per_reducer_payload.size());
 
+  // Each intent is its own message on the management network and rides
+  // through the fault channel independently (per-message drops, not
+  // per-spill). With a transparent channel the sends are synchronous and the
+  // event ordering matches the pre-fault-layer behaviour exactly.
   sim_->at(emit_at, [this, intents = std::move(intents)] {
     for (const auto& intent : intents) {
-      collector_->ingest(intent);
+      channel_.send([this, intent] { collector_->ingest(intent); });
     }
   });
 }
@@ -48,7 +55,9 @@ void Instrumentation::on_reducer_started(std::size_t job_serial,
   control_bytes_ += util::Bytes{32};
   sim_->after(cfg_.management_latency,
               [this, job_serial, reduce_index, server] {
-                collector_->reducer_located(job_serial, reduce_index, server);
+                channel_.send([this, job_serial, reduce_index, server] {
+                  collector_->reducer_located(job_serial, reduce_index, server);
+                });
               });
 }
 

@@ -13,6 +13,7 @@
 
 #include "core/prediction.hpp"
 #include "hadoop/engine.hpp"
+#include "sim/fault_channel.hpp"
 #include "sim/simulation.hpp"
 
 namespace pythia::core {
@@ -27,6 +28,11 @@ struct InstrumentationConfig {
   /// Extra artificial delay before intents reach the collector — used by the
   /// prediction-lead-time ablation (0 for faithful Pythia).
   util::Duration extra_delay = util::Duration::zero();
+  /// Fault model for the management network carrying intents and reducer-
+  /// initialization events to the collector. Default-constructed (no drops,
+  /// no jitter) the channel is transparent: delivery is synchronous and the
+  /// run is byte-identical to one without the channel.
+  sim::FaultChannelConfig channel;
   ProtocolOverheadModel overhead;
 };
 
@@ -48,11 +54,14 @@ class Instrumentation final : public hadoop::EngineObserver {
   [[nodiscard]] std::uint64_t decode_events() const { return decodes_; }
 
   [[nodiscard]] const InstrumentationConfig& config() const { return cfg_; }
+  /// The (possibly lossy) management channel this slave's messages traverse.
+  [[nodiscard]] const sim::FaultChannel& channel() const { return channel_; }
 
  private:
   sim::Simulation* sim_;
   Collector* collector_;
   InstrumentationConfig cfg_;
+  sim::FaultChannel channel_;
 
   std::uint64_t intents_ = 0;
   std::uint64_t decodes_ = 0;

@@ -4,6 +4,22 @@
 
 namespace pythia::core {
 
+namespace {
+
+/// The watchdog's staleness clock must tolerate the configured prediction
+/// pipeline latency: decode + management hop + any deliberate ablation delay
+/// + the fault channel's deterministic base delay. Only time *beyond* this is
+/// evidence of a broken channel.
+WatchdogConfig widen_for_pipeline(WatchdogConfig wd,
+                                  const InstrumentationConfig& inst) {
+  wd.staleness_threshold += inst.decode_delay + inst.management_latency +
+                            inst.extra_delay + inst.channel.base_delay +
+                            inst.channel.jitter;
+  return wd;
+}
+
+}  // namespace
+
 PythiaSystem::PythiaSystem(sim::Simulation& sim,
                            hadoop::MapReduceEngine& engine,
                            sdn::Controller& controller, PythiaConfig cfg)
@@ -13,13 +29,21 @@ PythiaSystem::PythiaSystem(sim::Simulation& sim,
       collector_(std::make_unique<Collector>(sim, *allocator_,
                                              cfg.collector)),
       instrumentation_(std::make_unique<Instrumentation>(
-          sim, *collector_, cfg.instrumentation)) {
+          sim, *collector_, cfg.instrumentation)),
+      watchdog_(std::make_unique<ControlPlaneWatchdog>(
+          sim, controller, *allocator_,
+          widen_for_pipeline(cfg.watchdog, cfg.instrumentation))) {
+  collector_->set_watchdog(watchdog_.get());
   engine.add_observer(this);
 }
 
 void PythiaSystem::on_map_output_ready(
     const hadoop::MapOutputNotice& notice) {
+  // The notice is engine-local (it cannot be lost), so it doubles as the
+  // watchdog's "a notification is now owed" signal.
+  watchdog_->note_emission(notice.at);
   instrumentation_->on_map_output_ready(notice);
+  watchdog_->evaluate();
 }
 
 void PythiaSystem::on_reducer_started(std::size_t job_serial,
@@ -31,7 +55,11 @@ void PythiaSystem::on_reducer_started(std::size_t job_serial,
 void PythiaSystem::on_fetch_started(std::size_t /*job_serial*/,
                                     const hadoop::FetchRecord& fetch,
                                     net::FlowId flow) {
+  watchdog_->evaluate();
   if (!cfg_.weighted_flows || !flow.valid() || !fetch.remote) return;
+  // During watchdog fallback the prediction state is untrustworthy — leave
+  // flows at their fair-share weight.
+  if (!watchdog_->engaged()) return;
   // Proportional allocation: a flow feeding a reducer server with k times
   // the average outstanding volume gets ~k times the bandwidth share.
   const double mean =
@@ -48,6 +76,12 @@ void PythiaSystem::on_fetch_completed(std::size_t /*job_serial*/,
                                       const hadoop::FetchRecord& fetch) {
   collector_->fetch_completed(fetch.src_server, fetch.dst_server,
                               fetch.payload);
+  watchdog_->evaluate();
+}
+
+void PythiaSystem::on_job_completed(std::size_t job_serial,
+                                    const hadoop::JobResult& /*result*/) {
+  collector_->job_completed(job_serial);
 }
 
 }  // namespace pythia::core

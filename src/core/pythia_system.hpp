@@ -8,6 +8,7 @@
 #include "core/allocator.hpp"
 #include "core/collector.hpp"
 #include "core/instrumentation.hpp"
+#include "core/watchdog.hpp"
 #include "hadoop/engine.hpp"
 #include "sdn/controller.hpp"
 
@@ -25,6 +26,11 @@ struct PythiaConfig {
   /// Weight clamp range when weighted_flows is on.
   double min_flow_weight = 0.25;
   double max_flow_weight = 8.0;
+  /// Control-plane health watchdog (falls back to ECMP when the management
+  /// channel or rule installs degrade). The system widens the staleness
+  /// threshold by the configured instrumentation pipeline latency so
+  /// deliberately delayed arms never trip it.
+  WatchdogConfig watchdog;
 };
 
 class PythiaSystem final : public hadoop::EngineObserver {
@@ -40,11 +46,15 @@ class PythiaSystem final : public hadoop::EngineObserver {
   [[nodiscard]] Instrumentation& instrumentation() { return *instrumentation_; }
   [[nodiscard]] Collector& collector() { return *collector_; }
   [[nodiscard]] Allocator& allocator() { return *allocator_; }
+  [[nodiscard]] ControlPlaneWatchdog& watchdog() { return *watchdog_; }
   [[nodiscard]] const Instrumentation& instrumentation() const {
     return *instrumentation_;
   }
   [[nodiscard]] const Collector& collector() const { return *collector_; }
   [[nodiscard]] const Allocator& allocator() const { return *allocator_; }
+  [[nodiscard]] const ControlPlaneWatchdog& watchdog() const {
+    return *watchdog_;
+  }
 
   // EngineObserver (delegating to the middleware components):
   void on_map_output_ready(const hadoop::MapOutputNotice& notice) override;
@@ -55,6 +65,8 @@ class PythiaSystem final : public hadoop::EngineObserver {
                         net::FlowId flow) override;
   void on_fetch_completed(std::size_t job_serial,
                           const hadoop::FetchRecord& fetch) override;
+  void on_job_completed(std::size_t job_serial,
+                        const hadoop::JobResult& result) override;
 
  private:
   sdn::Controller* controller_;
@@ -62,6 +74,7 @@ class PythiaSystem final : public hadoop::EngineObserver {
   std::unique_ptr<Allocator> allocator_;
   std::unique_ptr<Collector> collector_;
   std::unique_ptr<Instrumentation> instrumentation_;
+  std::unique_ptr<ControlPlaneWatchdog> watchdog_;
 };
 
 }  // namespace pythia::core

@@ -1,0 +1,105 @@
+#include "core/watchdog.hpp"
+
+#include "core/allocator.hpp"
+#include "sdn/controller.hpp"
+#include "util/log.hpp"
+
+namespace pythia::core {
+
+ControlPlaneWatchdog::ControlPlaneWatchdog(sim::Simulation& sim,
+                                           sdn::Controller& controller,
+                                           Allocator& allocator,
+                                           WatchdogConfig cfg)
+    : sim_(&sim), controller_(&controller), allocator_(&allocator), cfg_(cfg) {}
+
+void ControlPlaneWatchdog::note_emission(util::SimTime at) {
+  if (!cfg_.enabled) return;
+  if (pending_since_.ns() < 0) pending_since_ = at;
+}
+
+void ControlPlaneWatchdog::note_notification(util::SimTime at) {
+  if (!cfg_.enabled) return;
+  // Any notification proves the management channel moved data end-to-end;
+  // the staleness clock restarts from the next unanswered emission.
+  pending_since_ = util::SimTime{-1};
+  last_notification_ = at;
+}
+
+bool ControlPlaneWatchdog::notifications_stale() const {
+  if (pending_since_.ns() < 0) return false;
+  return sim_->now() - pending_since_ > cfg_.staleness_threshold;
+}
+
+void ControlPlaneWatchdog::refresh_failure_window() {
+  const util::SimTime now = sim_->now();
+  if (window_start_.ns() >= 0 && now - window_start_ < cfg_.failure_window) {
+    return;
+  }
+  window_start_ = now;
+  window_base_attempts_ = controller_->install_attempts();
+  window_base_failures_ = controller_->install_failures();
+  window_base_table_rejects_ = controller_->table_rejects();
+}
+
+double ControlPlaneWatchdog::recent_install_failure_rate() const {
+  // Table-admission refusals never become attempts, but a rule Pythia cannot
+  // place is just as lost to it as one the switch rejected — count both.
+  const std::uint64_t refusals =
+      controller_->table_rejects() - window_base_table_rejects_;
+  const std::uint64_t attempts =
+      controller_->install_attempts() - window_base_attempts_ + refusals;
+  if (attempts == 0) return 0.0;
+  const std::uint64_t failures =
+      controller_->install_failures() - window_base_failures_ + refusals;
+  return static_cast<double>(failures) / static_cast<double>(attempts);
+}
+
+bool ControlPlaneWatchdog::install_failures_excessive() const {
+  const std::uint64_t attempts =
+      controller_->install_attempts() - window_base_attempts_ +
+      (controller_->table_rejects() - window_base_table_rejects_);
+  if (attempts < cfg_.min_install_samples) return false;
+  return recent_install_failure_rate() >= cfg_.install_failure_threshold;
+}
+
+void ControlPlaneWatchdog::evaluate() {
+  if (!cfg_.enabled) return;
+  refresh_failure_window();
+  const bool healthy = !notifications_stale() && !install_failures_excessive();
+
+  if (engaged_ && !healthy) {
+    engaged_ = false;
+    healthy_since_ = util::SimTime{-1};
+    ++fallbacks_;
+    allocator_->suspend();
+    const std::size_t cleared = controller_->clear_host_rules();
+    PYTHIA_LOG(kWarn, "watchdog")
+        << "control plane degraded (stale=" << notifications_stale()
+        << " failure_rate=" << recent_install_failure_rate()
+        << "); fell back to ECMP, cleared " << cleared << " rules";
+    return;
+  }
+
+  if (!engaged_ && healthy) {
+    if (cfg_.max_fallbacks > 0 && fallbacks_ >= cfg_.max_fallbacks) {
+      return;  // circuit breaker open: this control plane keeps flapping
+    }
+    if (healthy_since_.ns() < 0) {
+      healthy_since_ = sim_->now();
+      return;
+    }
+    if (sim_->now() - healthy_since_ >= cfg_.recovery_grace) {
+      engaged_ = true;
+      healthy_since_ = util::SimTime{-1};
+      ++reengagements_;
+      allocator_->resume();
+      PYTHIA_LOG(kInfo, "watchdog")
+          << "control plane recovered; Pythia re-engaged";
+    }
+    return;
+  }
+
+  if (!engaged_ && !healthy) healthy_since_ = util::SimTime{-1};
+}
+
+}  // namespace pythia::core

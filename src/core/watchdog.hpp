@@ -1,0 +1,107 @@
+// Control-plane health watchdog.
+//
+// The paper's implicit robustness guarantee is "never do worse than ECMP":
+// Pythia only helps if its predictions are fresh and its rules actually make
+// it into the switches. This watchdog observes both halves of the control
+// plane — prediction notifications (instrumentation → collector over the
+// lossy management channel) and rule installs (controller → switches) — and
+// when either is degraded past a threshold it *falls the system back to pure
+// ECMP*: the allocator stops installing and every host-pair rule is cleared.
+// When the control plane recovers and stays healthy for a grace period, the
+// watchdog re-engages Pythia and the allocator re-installs live aggregates.
+//
+// Evaluation is lazy (driven from engine-side observer events, which are
+// local to the slaves and cannot be lost), so the watchdog schedules no
+// events of its own and a healthy run is byte-identical with or without it.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulation.hpp"
+#include "util/time.hpp"
+
+namespace pythia::sdn {
+class Controller;
+}
+
+namespace pythia::core {
+
+class Allocator;
+
+struct WatchdogConfig {
+  bool enabled = true;
+  /// A spill emission left unanswered by any collector-side notification for
+  /// this long means the prediction channel is effectively dead. The
+  /// PythiaSystem adds the configured instrumentation pipeline latency
+  /// (decode + management + extra delay) on top, so deliberately slowed
+  /// arms (FlowComb ablations, lead-time sweeps) never trip it.
+  util::Duration staleness_threshold = util::Duration::seconds_i(5);
+  /// Install-attempt failure fraction over the sampling window that trips
+  /// the fallback, given at least `min_install_samples` attempts. The bar is
+  /// deliberately high: with exponential-backoff retries a 50%-lossy install
+  /// channel still lands most rules, and falling back would forfeit a real
+  /// speedup. Only a mostly-dead channel is worth abandoning.
+  double install_failure_threshold = 0.75;
+  std::size_t min_install_samples = 8;
+  util::Duration failure_window = util::Duration::seconds_i(10);
+  /// Healthy streak required before re-engaging Pythia.
+  util::Duration recovery_grace = util::Duration::seconds_i(5);
+  /// Circuit breaker: after this many fallbacks the watchdog stops
+  /// re-engaging — a control plane that keeps flapping is worse than plain
+  /// ECMP, because every re-engagement reroutes flows it will soon strand.
+  /// 0 = re-engage forever.
+  std::size_t max_fallbacks = 2;
+};
+
+class ControlPlaneWatchdog {
+ public:
+  ControlPlaneWatchdog(sim::Simulation& sim, sdn::Controller& controller,
+                       Allocator& allocator, WatchdogConfig cfg = {});
+
+  /// Engine-side: a map spill happened, so a notification is now expected on
+  /// the management channel.
+  void note_emission(util::SimTime at);
+  /// Collector-side: a notification (intent or reducer location) arrived.
+  void note_notification(util::SimTime at);
+
+  /// Re-assesses health and performs fallback / re-engagement transitions.
+  /// Called from engine observer events; cheap when nothing changed.
+  void evaluate();
+
+  /// True while Pythia is driving the network; false during ECMP fallback.
+  [[nodiscard]] bool engaged() const { return engaged_; }
+  [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
+  [[nodiscard]] std::uint64_t reengagements() const { return reengagements_; }
+
+  // Exposed for tests and the control-plane bench.
+  [[nodiscard]] bool notifications_stale() const;
+  [[nodiscard]] double recent_install_failure_rate() const;
+
+  [[nodiscard]] const WatchdogConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] bool install_failures_excessive() const;
+  void refresh_failure_window();
+
+  sim::Simulation* sim_;
+  sdn::Controller* controller_;
+  Allocator* allocator_;
+  WatchdogConfig cfg_;
+
+  bool engaged_ = true;
+  /// Oldest emission not yet answered by any notification; -1 when caught up.
+  util::SimTime pending_since_{-1};
+  util::SimTime last_notification_{-1};
+  util::SimTime healthy_since_{-1};
+
+  /// Failure-rate sampling window over the controller's install counters.
+  util::SimTime window_start_{-1};
+  std::uint64_t window_base_attempts_ = 0;
+  std::uint64_t window_base_failures_ = 0;
+  std::uint64_t window_base_table_rejects_ = 0;
+
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t reengagements_ = 0;
+};
+
+}  // namespace pythia::core

@@ -87,6 +87,9 @@ Scenario::Scenario(ScenarioConfig cfg)
       core::PythiaConfig fc = cfg_.pythia;
       fc.instrumentation.extra_delay = cfg_.flowcomb_extra_delay;
       fc.allocator.load_aware = false;
+      // The ECMP-fallback watchdog is a Pythia robustness feature; the
+      // FlowComb-like strawman runs without it.
+      fc.watchdog.enabled = false;
       pythia_ = std::make_unique<core::PythiaSystem>(*sim_, *engine_,
                                                      *controller_, fc);
       break;
@@ -103,6 +106,17 @@ Scenario::Scenario(ScenarioConfig cfg)
 }
 
 Scenario::~Scenario() = default;
+
+void apply_control_plane_faults(ScenarioConfig& cfg,
+                                const ControlPlaneFaultProfile& profile) {
+  auto& intent = cfg.pythia.instrumentation.channel;
+  intent.drop_probability = profile.intent_loss;
+  intent.jitter = profile.intent_jitter;
+  intent.duplicate_probability = profile.intent_duplicate;
+  cfg.controller.flow_mod_channel.drop_probability = profile.flow_mod_loss;
+  cfg.controller.install_reject_probability = profile.install_reject;
+  cfg.controller.flow_table_capacity = profile.flow_table_capacity;
+}
 
 void Scenario::install_static_oracle() {
   // Offline reference: with ground-truth knowledge of the background load,

@@ -57,6 +57,28 @@ struct ScenarioConfig {
   bool enable_netflow = false;
 };
 
+/// One knob set for the control-plane fault ablation: how broken are the two
+/// control channels and the switch tables. All zeros (the default) leaves the
+/// scenario byte-identical to a fault-free run.
+struct ControlPlaneFaultProfile {
+  /// Drop probability on instrumentation→collector intent messages.
+  double intent_loss = 0.0;
+  /// Random extra delay on intent messages (uniform in [0, jitter]).
+  util::Duration intent_jitter = util::Duration::zero();
+  /// Duplicate probability on intent messages.
+  double intent_duplicate = 0.0;
+  /// Drop probability on controller→switch flow-mods.
+  double flow_mod_loss = 0.0;
+  /// Probability a switch rejects an install attempt outright.
+  double install_reject = 0.0;
+  /// Per-switch flow-table budget for host-pair rules (0 = unbounded).
+  std::size_t flow_table_capacity = 0;
+};
+
+/// Applies a fault profile to the scenario's controller + Pythia configs.
+void apply_control_plane_faults(ScenarioConfig& cfg,
+                                const ControlPlaneFaultProfile& profile);
+
 class Scenario {
  public:
   explicit Scenario(ScenarioConfig cfg);

@@ -18,7 +18,8 @@ Controller::Controller(sim::Simulation& sim, net::Fabric& fabric,
       routing_(topo, cfg.k_paths),
       ecmp_(routing_),
       snapshot_load_bps_(topo.link_count(), 0.0),
-      snapshot_shuffle_bps_(topo.link_count(), 0.0) {}
+      snapshot_shuffle_bps_(topo.link_count(), 0.0),
+      flow_mod_channel_(sim, "sdn.flow_mod", cfg.flow_mod_channel) {}
 
 void Controller::refresh_snapshot_if_stale() const {
   const util::SimTime now = sim_->now();
@@ -173,40 +174,200 @@ const net::Path* Controller::compose_rack_path(net::NodeId src_host,
   return &slot->second;
 }
 
-void Controller::install_path(net::NodeId src_host, net::NodeId dst_host,
-                              net::Path path) {
+std::uint64_t Controller::switch_hops(const net::Path& path) const {
+  std::uint64_t hops = 0;
+  for (net::LinkId l : path.links) {
+    if (topo_->node(topo_->link(l).src).kind == net::NodeKind::kSwitch) {
+      ++hops;
+    }
+  }
+  return hops;
+}
+
+Controller::RuleMap::iterator Controller::erase_rule(RuleMap::iterator it) {
+  for (net::LinkId l : it->second.rule.path.links) {
+    const net::NodeId sw = topo_->link(l).src;
+    if (topo_->node(sw).kind != net::NodeKind::kSwitch) continue;
+    const auto occ = table_occupancy_.find(sw.value());
+    if (occ != table_occupancy_.end() && occ->second > 0) --occ->second;
+  }
+  return rules_.erase(it);
+}
+
+std::size_t Controller::table_occupancy(net::NodeId switch_node) const {
+  const auto it = table_occupancy_.find(switch_node.value());
+  return it == table_occupancy_.end() ? 0 : it->second;
+}
+
+bool Controller::admit_to_tables(const net::Path& path,
+                                 util::Bytes volume_hint) {
+  if (cfg_.flow_table_capacity == 0) return true;
+  for (net::LinkId l : path.links) {
+    const net::NodeId sw = topo_->link(l).src;
+    if (topo_->node(sw).kind != net::NodeKind::kSwitch) continue;
+    while (table_occupancy_[sw.value()] >= cfg_.flow_table_capacity) {
+      // Evict the smallest-volume rule holding an entry on this switch — but
+      // only if the newcomer is strictly larger; otherwise refuse it.
+      auto victim = rules_.end();
+      for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+        const auto& links = it->second.rule.path.links;
+        const bool occupies =
+            std::any_of(links.begin(), links.end(), [&](net::LinkId rl) {
+              return topo_->link(rl).src == sw;
+            });
+        if (!occupies) continue;
+        if (victim == rules_.end() ||
+            it->second.volume_hint < victim->second.volume_hint ||
+            (it->second.volume_hint == victim->second.volume_hint &&
+             it->first < victim->first)) {
+          victim = it;
+        }
+      }
+      if (victim == rules_.end() || victim->second.volume_hint >= volume_hint) {
+        ++table_rejects_;
+        return false;
+      }
+      ++evictions_;
+      erase_rule(victim);
+    }
+  }
+  return true;
+}
+
+bool Controller::install_path(net::NodeId src_host, net::NodeId dst_host,
+                              net::Path path, util::Bytes volume_hint) {
   assert(topo_->validate_path(src_host, dst_host, path.links));
   // Refuse rules over failed links: the requester is working from stale
   // state; traffic stays on ECMP over the rebuilt routing graph instead.
   for (net::LinkId l : path.links) {
-    if (failed_links_.contains(l)) return;
+    if (failed_links_.contains(l)) return false;
   }
   const std::uint64_t key = pair_key(src_host, dst_host);
   const util::SimTime now = sim_->now();
+
+  // A re-install supersedes any previous rule for the pair (and releases its
+  // table entries before the admission check).
+  if (auto existing = rules_.find(key); existing != rules_.end()) {
+    erase_rule(existing);
+  }
+  if (!admit_to_tables(path, volume_hint)) return false;
 
   PendingRule pending;
   pending.rule = PathRule{src_host, dst_host, std::move(path), now,
                           now + cfg_.rule_install_latency};
   pending.active = false;
-  // One flow-mod per switch hop on the path (hosts excluded).
-  std::uint64_t mods = 0;
+  pending.volume_hint = volume_hint;
+  pending.epoch = ++install_epoch_;
   for (net::LinkId l : pending.rule.path.links) {
-    if (topo_->node(topo_->link(l).src).kind == net::NodeKind::kSwitch) {
-      ++mods;
+    const net::NodeId sw = topo_->link(l).src;
+    if (topo_->node(sw).kind == net::NodeKind::kSwitch) {
+      ++table_occupancy_[sw.value()];
     }
   }
-  flow_mods_ += std::max<std::uint64_t>(mods, 1);
   ++rules_installed_;
   rules_[key] = std::move(pending);
-
-  sim_->after(cfg_.rule_install_latency, [this, key] { activate_rule(key); });
+  attempt_install(key);
+  return true;
 }
 
-void Controller::activate_rule(std::uint64_t key) {
+void Controller::attempt_install(std::uint64_t key) {
+  auto it = rules_.find(key);
+  if (it == rules_.end()) return;
+  PendingRule& pending = it->second;
+  const std::uint64_t epoch = pending.epoch;
+  const std::size_t attempt = pending.attempt;
+  ++install_attempts_;
+
+  if (cfg_.install_reject_probability > 0.0 &&
+      sim_->rng("sdn.install").uniform01() < cfg_.install_reject_probability) {
+    ++install_rejects_;
+    fail_attempt(key);
+    return;
+  }
+
+  // One flow-mod per switch hop, re-sent on every attempt.
+  flow_mods_ += std::max<std::uint64_t>(switch_hops(pending.rule.path), 1);
+  flow_mod_channel_.send([this, key, epoch, attempt] {
+    auto cur = rules_.find(key);
+    if (cur == rules_.end() || cur->second.epoch != epoch ||
+        cur->second.attempt != attempt || cur->second.confirmed) {
+      return;  // superseded, removed, or a duplicate delivery
+    }
+    cur->second.confirmed = true;
+    cur->second.rule.active_at = sim_->now() + cfg_.rule_install_latency;
+    sim_->after(cfg_.rule_install_latency,
+                [this, key, epoch] { activate_rule(key, epoch); });
+  });
+
+  if (!flow_mod_channel_.transparent()) {
+    // Lost-flow-mod detection: if the switch has not confirmed by the
+    // timeout, declare the message lost and retry. (Skipped entirely for a
+    // transparent channel so fault-free runs schedule no extra events.)
+    sim_->after(cfg_.install_timeout, [this, key, epoch, attempt] {
+      auto cur = rules_.find(key);
+      if (cur == rules_.end() || cur->second.epoch != epoch ||
+          cur->second.attempt != attempt || cur->second.confirmed) {
+        return;
+      }
+      ++install_timeouts_;
+      fail_attempt(key);
+    });
+  }
+}
+
+void Controller::fail_attempt(std::uint64_t key) {
+  auto it = rules_.find(key);
+  if (it == rules_.end()) return;
+  PendingRule& pending = it->second;
+  if (pending.attempt >= cfg_.max_install_retries) {
+    ++installs_abandoned_;
+    erase_rule(it);  // the aggregate stays on ECMP
+    return;
+  }
+  ++pending.attempt;
+  ++install_retries_;
+  const util::Duration backoff =
+      cfg_.retry_backoff * (std::int64_t{1} << (pending.attempt - 1));
+  const std::uint64_t epoch = pending.epoch;
+  const std::size_t attempt = pending.attempt;
+  sim_->after(backoff, [this, key, epoch, attempt] {
+    auto cur = rules_.find(key);
+    if (cur == rules_.end() || cur->second.epoch != epoch ||
+        cur->second.attempt != attempt || cur->second.confirmed) {
+      return;
+    }
+    attempt_install(key);
+  });
+}
+
+std::size_t Controller::clear_host_rules() {
+  const std::size_t cleared = rules_.size();
+  rules_cleared_ += cleared;
+  if (cfg_.reroute_active_flows_on_install && cleared > 0) {
+    // Complete the fallback: flows already steered onto rule paths go back
+    // to their ECMP assignment, leaving the fabric as pure ECMP would have
+    // routed it.
+    for (net::FlowId fid : fabric_->active_flows()) {
+      const net::Flow& f = fabric_->flow(fid);
+      if (f.spec.cls != net::FlowClass::kShuffle) continue;
+      const auto it = rules_.find(pair_key(f.spec.src, f.spec.dst));
+      if (it == rules_.end() || !it->second.active) continue;
+      if (f.spec.path != it->second.rule.path.links) continue;
+      const net::Path& p = ecmp_.select(f.spec.src, f.spec.dst, f.spec.tuple);
+      if (f.spec.path != p.links) fabric_->reroute_flow(fid, p.links);
+    }
+  }
+  rules_.clear();
+  table_occupancy_.clear();
+  return cleared;
+}
+
+void Controller::activate_rule(std::uint64_t key, std::uint64_t epoch) {
   auto it = rules_.find(key);
   if (it == rules_.end()) return;  // removed while pending
   PendingRule& pending = it->second;
-  if (sim_->now() < pending.rule.active_at) return;  // superseded install
+  if (pending.epoch != epoch) return;             // superseded install
+  if (sim_->now() < pending.rule.active_at) return;
   pending.active = true;
 
   if (cfg_.reroute_active_flows_on_install) {
@@ -234,7 +395,8 @@ const PathRule* Controller::active_rule(net::NodeId src_host,
 }
 
 void Controller::remove_rule(net::NodeId src_host, net::NodeId dst_host) {
-  rules_.erase(pair_key(src_host, dst_host));
+  const auto it = rules_.find(pair_key(src_host, dst_host));
+  if (it != rules_.end()) erase_rule(it);
 }
 
 namespace {
@@ -267,7 +429,7 @@ void Controller::handle_link_failure(net::LinkId l) {
                                   [this](net::LinkId pl) {
                                     return failed_links_.contains(pl);
                                   });
-    it = dead ? rules_.erase(it) : ++it;
+    it = dead ? erase_rule(it) : ++it;
   }
   for (auto it = rack_rules_.begin(); it != rack_rules_.end();) {
     const auto& chain = it->second.chain.links;

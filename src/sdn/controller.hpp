@@ -21,8 +21,10 @@
 #include "net/fabric.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
+#include "sim/fault_channel.hpp"
 #include "sim/simulation.hpp"
 #include "util/time.hpp"
+#include "util/units.hpp"
 
 namespace pythia::sdn {
 
@@ -36,6 +38,28 @@ struct ControllerConfig {
   /// When a rule activates while flows of its aggregate are in flight, move
   /// them onto the rule's path (OpenFlow rules affect subsequent packets).
   bool reroute_active_flows_on_install = true;
+
+  // --- control-plane fault model (all off by default: installs behave as
+  // the infallible function calls they were before this layer existed) ---
+
+  /// Transit faults on the controller→switch flow-mod channel: a dropped
+  /// flow-mod leaves the rule uninstalled until the install timeout detects
+  /// it; delay jitter postpones activation.
+  sim::FaultChannelConfig flow_mod_channel;
+  /// Probability that a switch rejects an install attempt outright (table
+  /// race, firmware error). The controller learns of rejects immediately and
+  /// retries with backoff.
+  double install_reject_probability = 0.0;
+  /// Per-switch flow-table budget for host-pair rules; 0 = unbounded. A full
+  /// table evicts its smallest-volume rule when the newcomer is larger,
+  /// otherwise the install is refused (traffic stays on ECMP).
+  std::size_t flow_table_capacity = 0;
+  /// Install retry policy: additional attempts after the first, with the
+  /// backoff doubling on every consecutive failure of the same rule.
+  std::size_t max_install_retries = 3;
+  util::Duration retry_backoff = util::Duration::millis(8);
+  /// A flow-mod unconfirmed after this long is declared lost and re-sent.
+  util::Duration install_timeout = util::Duration::millis(20);
 };
 
 /// A forwarding rule for a host-pair aggregate (the paper aggregates at
@@ -90,8 +114,18 @@ class Controller {
   /// Requests installation of `path` for the host-pair aggregate. The rule
   /// becomes active after the configured install latency; one flow-mod per
   /// switch on the path is counted toward the control-plane overhead totals.
-  void install_path(net::NodeId src_host, net::NodeId dst_host,
-                    net::Path path);
+  /// `volume_hint` (predicted aggregate bytes) drives table-full eviction:
+  /// when a switch on the path has no free entry, the smallest-volume rule
+  /// occupying it is evicted if the newcomer is larger. Under a faulty
+  /// control plane the install may be rejected or the flow-mod lost; the
+  /// controller retries with exponential backoff up to `max_install_retries`
+  /// times before abandoning the rule to ECMP.
+  /// Returns false when the request is refused synchronously (path over a
+  /// failed link, or no admissible flow-table entry) — the caller's traffic
+  /// stays on ECMP and it must not account the path as taken. A true return
+  /// means the install is in flight; it can still fail asynchronously.
+  bool install_path(net::NodeId src_host, net::NodeId dst_host, net::Path path,
+                    util::Bytes volume_hint = util::Bytes::zero());
 
   /// Active rule for a pair, if any (inactive pending rules not returned).
   [[nodiscard]] const PathRule* active_rule(net::NodeId src_host,
@@ -99,6 +133,14 @@ class Controller {
 
   /// Removes the rule (and any pending install) for a pair.
   void remove_rule(net::NodeId src_host, net::NodeId dst_host);
+
+  /// Drops every host-pair rule (active and pending); traffic falls back to
+  /// ECMP. Used by the control-plane watchdog on degradation. Returns the
+  /// number of rules removed.
+  std::size_t clear_host_rules();
+
+  /// Host-pair rule entries currently occupying `switch_node`'s flow table.
+  [[nodiscard]] std::size_t table_occupancy(net::NodeId switch_node) const;
 
   // --- rack-granularity wildcard rules (paper §IV: forwarding-state
   // conservation — "large-scale future SDN setups may force routing at the
@@ -144,12 +186,40 @@ class Controller {
     return stats_refreshes_;
   }
 
+  // --- control-plane health accounting (watchdog inputs + bench output) ---
+  [[nodiscard]] std::uint64_t install_attempts() const {
+    return install_attempts_;
+  }
+  [[nodiscard]] std::uint64_t install_rejects() const {
+    return install_rejects_;
+  }
+  [[nodiscard]] std::uint64_t install_timeouts() const {
+    return install_timeouts_;
+  }
+  /// Attempt-level failures (rejects + lost flow-mods).
+  [[nodiscard]] std::uint64_t install_failures() const {
+    return install_rejects_ + install_timeouts_;
+  }
+  [[nodiscard]] std::uint64_t install_retries() const {
+    return install_retries_;
+  }
+  /// Rules given up on after exhausting retries (left to ECMP).
+  [[nodiscard]] std::uint64_t installs_abandoned() const {
+    return installs_abandoned_;
+  }
+  [[nodiscard]] std::uint64_t table_evictions() const { return evictions_; }
+  [[nodiscard]] std::uint64_t table_rejects() const { return table_rejects_; }
+  [[nodiscard]] std::uint64_t rules_cleared() const { return rules_cleared_; }
+  [[nodiscard]] const sim::FaultChannel& flow_mod_channel() const {
+    return flow_mod_channel_;
+  }
+
  private:
   [[nodiscard]] static std::uint64_t pair_key(net::NodeId a, net::NodeId b) {
     return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
   }
   void refresh_snapshot_if_stale() const;
-  void activate_rule(std::uint64_t key);
+  void activate_rule(std::uint64_t key, std::uint64_t epoch);
 
   sim::Simulation* sim_;
   net::Fabric* fabric_;
@@ -161,8 +231,31 @@ class Controller {
   struct PendingRule {
     PathRule rule;
     bool active = false;
+    /// Flow-mod acknowledged by the switch (activation latency running).
+    bool confirmed = false;
+    util::Bytes volume_hint;
+    std::size_t attempt = 0;
+    /// Monotone install generation; stale channel/timer callbacks carry the
+    /// epoch they were issued under and bail on mismatch.
+    std::uint64_t epoch = 0;
   };
-  std::unordered_map<std::uint64_t, PendingRule> rules_;
+  using RuleMap = std::unordered_map<std::uint64_t, PendingRule>;
+  RuleMap rules_;
+
+  /// Number of switch hops on a host-pair path (= flow-mods per attempt and
+  /// table entries the rule occupies).
+  [[nodiscard]] std::uint64_t switch_hops(const net::Path& path) const;
+  /// Frees a switch entry per hop, then erases; all rule removal funnels
+  /// through here so `table_occupancy_` never drifts.
+  RuleMap::iterator erase_rule(RuleMap::iterator it);
+  /// Makes room on every switch along `path` (evicting smaller rules) or
+  /// refuses; no-op when flow_table_capacity == 0.
+  [[nodiscard]] bool admit_to_tables(const net::Path& path,
+                                     util::Bytes volume_hint);
+  void attempt_install(std::uint64_t key);
+  /// Backoff-retries the keyed rule, or abandons it after max retries.
+  void fail_attempt(std::uint64_t key);
+  std::unordered_map<std::uint32_t, std::size_t> table_occupancy_;
 
   struct PendingRackRule {
     int src_rack = -1;
@@ -192,6 +285,17 @@ class Controller {
 
   std::uint64_t rules_installed_ = 0;
   std::uint64_t flow_mods_ = 0;
+
+  sim::FaultChannel flow_mod_channel_;
+  std::uint64_t install_epoch_ = 0;
+  std::uint64_t install_attempts_ = 0;
+  std::uint64_t install_rejects_ = 0;
+  std::uint64_t install_timeouts_ = 0;
+  std::uint64_t install_retries_ = 0;
+  std::uint64_t installs_abandoned_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t table_rejects_ = 0;
+  std::uint64_t rules_cleared_ = 0;
 };
 
 }  // namespace pythia::sdn

@@ -1,0 +1,65 @@
+#include "sim/fault_channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pythia::sim {
+
+FaultChannel::FaultChannel(Simulation& sim, std::string stream_name,
+                           FaultChannelConfig cfg)
+    : sim_(&sim), stream_(std::move(stream_name)), cfg_(cfg) {}
+
+util::Duration FaultChannel::sample_delay() {
+  util::Duration delay = cfg_.base_delay;
+  if (cfg_.jitter > util::Duration::zero()) {
+    auto& rng = sim_->rng(stream_);
+    const double extra =
+        cfg_.jitter_kind == FaultChannelConfig::Jitter::kUniform
+            ? rng.uniform(0.0, cfg_.jitter.seconds())
+            : rng.exponential(cfg_.jitter.seconds());
+    delay += util::Duration::from_seconds(extra);
+  }
+  return delay;
+}
+
+void FaultChannel::schedule_delivery(std::function<void()> deliver) {
+  const util::Duration delay = sample_delay();
+  if (delay == util::Duration::zero()) {
+    // No transit time sampled (e.g. drop-only channel): deliver in place so
+    // the event stream stays as close to the fault-free one as possible.
+    ++delivered_;
+    deliver();
+    return;
+  }
+  const util::SimTime at = sim_->now() + delay;
+  if (at < last_scheduled_) ++reordered_;
+  last_scheduled_ = std::max(last_scheduled_, at);
+  sim_->at(at, [this, deliver = std::move(deliver)] {
+    ++delivered_;
+    deliver();
+  });
+}
+
+void FaultChannel::send(std::function<void()> deliver) {
+  ++offered_;
+  if (cfg_.transparent()) {
+    ++delivered_;
+    deliver();
+    return;
+  }
+  if (cfg_.drop_probability > 0.0 &&
+      sim_->rng(stream_).uniform01() < cfg_.drop_probability) {
+    ++dropped_;
+    return;
+  }
+  const bool duplicate =
+      cfg_.duplicate_probability > 0.0 &&
+      sim_->rng(stream_).uniform01() < cfg_.duplicate_probability;
+  if (duplicate) {
+    ++duplicated_;
+    schedule_delivery(deliver);
+  }
+  schedule_delivery(std::move(deliver));
+}
+
+}  // namespace pythia::sim

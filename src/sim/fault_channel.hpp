@@ -1,0 +1,88 @@
+// Lossy control-plane message channel.
+//
+// The data plane has had a fault model since the resilience work (link and
+// switch death, task churn); this channel gives the *control* plane one.
+// Every message handed to `send` can be dropped, delayed (fixed base plus a
+// uniform or exponential jitter, which also reorders), or duplicated, all
+// drawn from a named seed-derived RNG stream so runs stay bit-reproducible.
+//
+// A channel whose config is all-zero is *transparent*: the message is
+// delivered synchronously, no RNG stream is consumed, and no events are
+// scheduled — a zero-fault experiment produces exactly the event sequence it
+// produced before this layer existed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "util/time.hpp"
+
+namespace pythia::sim {
+
+struct FaultChannelConfig {
+  /// Per-message loss probability.
+  double drop_probability = 0.0;
+  /// Per-message duplication probability (the copy takes its own delay).
+  double duplicate_probability = 0.0;
+  /// Fixed transit delay added to every surviving message.
+  util::Duration base_delay = util::Duration::zero();
+  /// Random extra delay on top of `base_delay`; messages with unequal jitter
+  /// draws can overtake each other (reordering).
+  util::Duration jitter = util::Duration::zero();
+  enum class Jitter { kUniform, kExponential };
+  /// kUniform draws from [0, jitter); kExponential draws with mean `jitter`
+  /// (heavy tail — occasional very stale deliveries).
+  Jitter jitter_kind = Jitter::kUniform;
+
+  /// True when the channel cannot alter any message.
+  [[nodiscard]] bool transparent() const {
+    return drop_probability <= 0.0 && duplicate_probability <= 0.0 &&
+           base_delay == util::Duration::zero() &&
+           jitter == util::Duration::zero();
+  }
+};
+
+class FaultChannel {
+ public:
+  /// `stream_name` names the RNG stream (derived from the simulation's root
+  /// seed), so two channels with distinct names fault independently.
+  FaultChannel(Simulation& sim, std::string stream_name,
+               FaultChannelConfig cfg = {});
+
+  /// Offers one message. `deliver` runs zero times (dropped), once, or twice
+  /// (duplicated), each at send-time + base_delay + jitter. A transparent
+  /// channel invokes it synchronously.
+  void send(std::function<void()> deliver);
+
+  [[nodiscard]] const FaultChannelConfig& config() const { return cfg_; }
+  [[nodiscard]] bool transparent() const { return cfg_.transparent(); }
+
+  // --- accounting ---
+  [[nodiscard]] std::uint64_t messages_offered() const { return offered_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t messages_duplicated() const {
+    return duplicated_;
+  }
+  /// Deliveries scheduled to land before an earlier send's delivery.
+  [[nodiscard]] std::uint64_t reorderings() const { return reordered_; }
+
+ private:
+  [[nodiscard]] util::Duration sample_delay();
+  void schedule_delivery(std::function<void()> deliver);
+
+  Simulation* sim_;
+  std::string stream_;
+  FaultChannelConfig cfg_;
+
+  util::SimTime last_scheduled_ = util::SimTime::zero();
+  std::uint64_t offered_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
+};
+
+}  // namespace pythia::sim

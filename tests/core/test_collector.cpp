@@ -124,6 +124,79 @@ TEST(Collector, FetchCompletionRetiresVolume) {
   EXPECT_EQ(f.allocator.pair_outstanding(f.src, f.dst_remote), after);
 }
 
+TEST(Collector, HeldIntentsExpireAfterTtl) {
+  Fixture f;
+  CollectorConfig cfg;
+  cfg.intent_ttl = Duration::seconds_i(30);
+  Collector collector(f.sim, f.allocator, cfg);
+
+  collector.ingest(f.intent(0, 1'000'000));  // reducer never locates
+  EXPECT_EQ(collector.intents_waiting(), 1u);
+
+  // Any collector activity after the TTL triggers the lazy purge.
+  f.sim.after(Duration::seconds_i(31), [&] {
+    collector.reducer_located(0, 7, f.dst_remote);  // unrelated reducer
+  });
+  f.sim.run();
+  EXPECT_EQ(collector.intents_waiting(), 0u);
+  EXPECT_EQ(collector.intents_expired(), 1u);
+
+  // The expired intent is gone for good: locating its reducer later must
+  // not resurrect it.
+  collector.reducer_located(0, 0, f.dst_remote);
+  f.sim.run();
+  EXPECT_EQ(f.allocator.allocations(), 0u);
+}
+
+TEST(Collector, IntentsSurviveWithinTtl) {
+  Fixture f;
+  CollectorConfig cfg;
+  cfg.intent_ttl = Duration::seconds_i(30);
+  Collector collector(f.sim, f.allocator, cfg);
+  collector.ingest(f.intent(0, 1'000'000));
+  f.sim.after(Duration::seconds_i(29),
+              [&] { collector.reducer_located(0, 0, f.dst_remote); });
+  f.sim.run();
+  EXPECT_EQ(collector.intents_expired(), 0u);
+  EXPECT_EQ(f.allocator.allocations(), 1u);
+}
+
+TEST(Collector, JobCompletionPurgesResidue) {
+  Fixture f;
+  // Two jobs hold intents; completing job 0 must only reclaim its own.
+  f.collector.ingest(f.intent(0, 1'000'000));
+  ShuffleIntent other = f.intent(1, 2'000'000);
+  other.job_serial = 3;
+  f.collector.ingest(other);
+  f.collector.reducer_located(0, 5, f.dst_remote);
+  ASSERT_EQ(f.collector.intents_waiting(), 2u);
+
+  f.collector.job_completed(0);
+  EXPECT_EQ(f.collector.intents_waiting(), 1u);
+  EXPECT_EQ(f.collector.intents_purged_on_completion(), 1u);
+
+  // Job 0's reducer-location table is gone too: a straggler intent for it
+  // holds rather than resolving against a stale mapping.
+  ShuffleIntent straggler = f.intent(5, 500'000);
+  f.collector.ingest(straggler);
+  EXPECT_EQ(f.collector.intents_waiting(), 2u);
+
+  f.collector.job_completed(3);
+  EXPECT_EQ(f.collector.intents_purged_on_completion(), 2u);
+}
+
+TEST(Collector, UnpredictedFetchCountsUnderflow) {
+  Fixture f;
+  ASSERT_EQ(f.collector.underflow_events(), 0u);
+  // A completion with no prior prediction: outstanding would go negative.
+  f.collector.fetch_completed(f.src, f.dst_remote, Bytes{4'000'000});
+  EXPECT_EQ(f.collector.underflow_events(), 1u);
+  EXPECT_EQ(f.collector.destination_outstanding(f.dst_remote).count(), 0);
+  // Local completions never touch the books.
+  f.collector.fetch_completed(f.src, f.src, Bytes{4'000'000});
+  EXPECT_EQ(f.collector.underflow_events(), 1u);
+}
+
 TEST(Collector, MultipleJobsKeepReducerNamespacesApart) {
   Fixture f;
   // Job 0 reducer 0 is remote; job 1 reducer 0 is local.

@@ -1,0 +1,140 @@
+// Lossy control plane, end to end: fault-injected prediction and rule
+// channels must degrade Pythia gracefully toward (never below) ECMP.
+#include <gtest/gtest.h>
+
+#include "experiments/scenario.hpp"
+#include "workloads/hibench.hpp"
+
+namespace pythia::exp {
+namespace {
+
+using util::Bytes;
+using util::Duration;
+
+constexpr std::int64_t kGB = 1'000'000'000;
+
+ScenarioConfig base_config(SchedulerKind kind, std::uint64_t seed = 11) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.scheduler = kind;
+  // Heavy oversubscription: the regime where Pythia's speedup is large and
+  // robust across seeds, so losing it to faults is unambiguous in the clock.
+  cfg.background.oversubscription = 10.0;
+  return cfg;
+}
+
+hadoop::JobResult run_sort(ScenarioConfig cfg) {
+  Scenario scenario(std::move(cfg));
+  return scenario.run_job(workloads::sort_job(Bytes{12 * kGB}, 8));
+}
+
+TEST(ControlPlane, ZeroFaultProfileIsByteTransparent) {
+  // Applying an all-zero fault profile must not move a single event: the
+  // fault layer's zero configuration is indistinguishable from its absence.
+  const auto plain = run_sort(base_config(SchedulerKind::kPythia));
+  ScenarioConfig faulted = base_config(SchedulerKind::kPythia);
+  apply_control_plane_faults(faulted, ControlPlaneFaultProfile{});
+  const auto zeroed = run_sort(std::move(faulted));
+  EXPECT_EQ(plain.completion_time().ns(), zeroed.completion_time().ns());
+}
+
+TEST(ControlPlane, FaultInjectionIsDeterministicUnderSeed) {
+  ControlPlaneFaultProfile profile;
+  profile.intent_loss = 0.3;
+  profile.intent_jitter = Duration::millis(200);
+  profile.intent_duplicate = 0.1;
+  profile.flow_mod_loss = 0.2;
+  profile.install_reject = 0.1;
+
+  const auto run_once = [&] {
+    ScenarioConfig cfg = base_config(SchedulerKind::kPythia, 21);
+    apply_control_plane_faults(cfg, profile);
+    Scenario scenario(std::move(cfg));
+    const auto result =
+        scenario.run_job(workloads::sort_job(Bytes{12 * kGB}, 8));
+    const auto* py = scenario.pythia();
+    return std::tuple{result.completion_time().ns(),
+                      py->instrumentation().channel().messages_dropped(),
+                      scenario.controller().install_retries(),
+                      py->watchdog().fallbacks()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(ControlPlane, ModerateIntentLossStaysAtOrBelowEcmp) {
+  const auto ecmp = run_sort(base_config(SchedulerKind::kEcmp));
+
+  ScenarioConfig cfg = base_config(SchedulerKind::kPythia);
+  ControlPlaneFaultProfile profile;
+  profile.intent_loss = 0.2;
+  apply_control_plane_faults(cfg, profile);
+  Scenario scenario(std::move(cfg));
+  const auto result =
+      scenario.run_job(workloads::sort_job(Bytes{12 * kGB}, 8));
+
+  EXPECT_GT(scenario.pythia()->instrumentation().channel().messages_dropped(),
+            0u);
+  // 20% prediction loss costs accuracy, never the ECMP floor.
+  EXPECT_LE(result.completion_time().seconds(),
+            ecmp.completion_time().seconds() * 1.001);
+}
+
+TEST(ControlPlane, TotalIntentLossFallsBackToEcmpParity) {
+  const auto ecmp = run_sort(base_config(SchedulerKind::kEcmp));
+
+  ScenarioConfig cfg = base_config(SchedulerKind::kPythia);
+  ControlPlaneFaultProfile profile;
+  profile.intent_loss = 1.0;
+  apply_control_plane_faults(cfg, profile);
+  Scenario scenario(std::move(cfg));
+  const auto result =
+      scenario.run_job(workloads::sort_job(Bytes{12 * kGB}, 8));
+
+  // Every prediction lost: the watchdog must have declared the control plane
+  // dead and dropped to ECMP...
+  EXPECT_GE(scenario.pythia()->watchdog().fallbacks(), 1u);
+  EXPECT_FALSE(scenario.pythia()->watchdog().engaged());
+  EXPECT_EQ(scenario.controller().rules_installed(), 0u);
+  // ...so completion lands within 2% of the ECMP baseline.
+  const double ratio = result.completion_time().seconds() /
+                       ecmp.completion_time().seconds();
+  EXPECT_LE(ratio, 1.02);
+  EXPECT_GE(ratio, 0.98);
+}
+
+TEST(ControlPlane, InstallFaultsAreRetriedAndJobCompletes) {
+  ScenarioConfig cfg = base_config(SchedulerKind::kPythia);
+  ControlPlaneFaultProfile profile;
+  profile.flow_mod_loss = 0.3;
+  profile.install_reject = 0.2;
+  apply_control_plane_faults(cfg, profile);
+  Scenario scenario(std::move(cfg));
+  const auto result =
+      scenario.run_job(workloads::sort_job(Bytes{12 * kGB}, 8));
+
+  EXPECT_GT(result.completion_time().seconds(), 0.0);
+  EXPECT_GT(scenario.controller().install_retries(), 0u);
+  EXPECT_GT(scenario.controller().install_attempts(),
+            scenario.controller().rules_installed());
+}
+
+TEST(ControlPlane, TinyFlowTablesEvictAndStillComplete) {
+  ScenarioConfig cfg = base_config(SchedulerKind::kPythia);
+  ControlPlaneFaultProfile profile;
+  profile.flow_table_capacity = 2;
+  apply_control_plane_faults(cfg, profile);
+  Scenario scenario(std::move(cfg));
+  const auto result =
+      scenario.run_job(workloads::sort_job(Bytes{12 * kGB}, 8));
+
+  EXPECT_GT(result.completion_time().seconds(), 0.0);
+  EXPECT_GT(scenario.controller().table_evictions() +
+                scenario.controller().table_rejects(),
+            0u);
+  for (const auto node : scenario.topology().switches()) {
+    EXPECT_LE(scenario.controller().table_occupancy(node), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace pythia::exp

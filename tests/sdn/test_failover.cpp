@@ -129,6 +129,64 @@ TEST(Failover, InstallOverFailedLinkIsRefused) {
   EXPECT_EQ(f.controller.rules_installed(), 0u);
 }
 
+TEST(Failover, SwitchDeathPurgesRulesThroughIt) {
+  Fixture f;
+  const auto paths = f.controller.routing().paths(f.src, f.dst);
+  // One rule over each inter-rack wire switch; killing one switch must purge
+  // exactly the rule whose path traverses it.
+  const net::NodeId host2 = f.topo.hosts()[1];
+  f.controller.install_path(f.src, f.dst, paths[0], Bytes{1000});
+  f.controller.install_path(host2, f.dst, f.controller.routing()
+                                              .paths(host2, f.dst)[1],
+                            Bytes{1000});
+  f.sim.run();
+  ASSERT_NE(f.controller.active_rule(f.src, f.dst), nullptr);
+  ASSERT_NE(f.controller.active_rule(host2, f.dst), nullptr);
+
+  const net::NodeId wire = f.topo.link(paths[0].links[1]).dst;
+  ASSERT_EQ(f.topo.node(wire).kind, net::NodeKind::kSwitch);
+  f.controller.handle_switch_failure(wire);
+
+  EXPECT_EQ(f.controller.active_rule(f.src, f.dst), nullptr);
+  EXPECT_NE(f.controller.active_rule(host2, f.dst), nullptr);
+  // The dead switch's flow-table entries are released with the rule.
+  EXPECT_EQ(f.controller.table_occupancy(wire), 0u);
+  // Resolution for the purged pair falls back to ECMP on the survivor.
+  const FiveTuple t{1, 2, 50060, 31000, 6};
+  EXPECT_EQ(f.controller.resolve(f.src, f.dst, t).links, paths[1].links);
+}
+
+TEST(Failover, JobCompletesAcrossSwitchDeath) {
+  for (const auto kind :
+       {exp::SchedulerKind::kEcmp, exp::SchedulerKind::kPythia}) {
+    exp::ScenarioConfig cfg;
+    cfg.seed = 6;
+    cfg.scheduler = kind;
+    exp::Scenario scenario(cfg);
+
+    // Kill a wire switch mid-shuffle; restore it 40 s later.
+    const auto& paths = scenario.controller().routing().paths(
+        scenario.servers()[0], scenario.servers()[9]);
+    const net::NodeId wire =
+        scenario.topology().link(paths[1].links[1]).dst;
+    scenario.simulation().after(Duration::seconds_i(20), [&] {
+      scenario.controller().handle_switch_failure(wire);
+    });
+    scenario.simulation().after(Duration::seconds_i(60), [&] {
+      scenario.controller().handle_switch_restore(wire);
+    });
+
+    const auto job = workloads::sort_job(Bytes{12LL * 1000 * 1000 * 1000}, 8);
+    const auto result = scenario.run_job(job);
+    EXPECT_GT(result.completion_time().seconds(), 0.0)
+        << exp::scheduler_name(kind);
+    EXPECT_EQ(result.reducers.size(), job.num_reducers)
+        << exp::scheduler_name(kind);
+    EXPECT_GE(scenario.controller().topology_rebuilds(), 2u)
+        << exp::scheduler_name(kind);
+  }
+}
+
 class FailoverJob : public ::testing::TestWithParam<exp::SchedulerKind> {};
 
 TEST_P(FailoverJob, JobCompletesAcrossMidShuffleLinkFailure) {
