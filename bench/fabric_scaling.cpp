@@ -1,0 +1,287 @@
+// Fabric hot-path scaling sweep: wall-time per flow event on fat-tree k=4/8
+// at 100 → 5 000 concurrent flows, incremental rate engine vs the legacy
+// full-recompute baseline. Writes BENCH_fabric.json (recompute counts, links
+// touched, wall-time per event, peak RSS) to seed the perf trajectory across
+// PRs. `--smoke` runs a tiny sweep for CI.
+//
+// Protocol per cell: ramp N long-lived flows to steady state, then time a
+// window of M short "churn" flows riding on top — every churn start and
+// completion forces a rate recompute against the N-flow backdrop, which is
+// exactly the hot path a large cluster exercises. The long flows are never
+// drained (teardown is untimed), so the window isolates per-event cost.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace pythia;
+using net::Fabric;
+using net::FabricConfig;
+using net::FlowSpec;
+using net::LinkId;
+using net::NodeId;
+using net::RateEngine;
+using net::Topology;
+using util::Bytes;
+using util::SimTime;
+
+NodeId edge_of(const Topology& topo, NodeId host) {
+  return topo.link(topo.out_links(host)[0]).dst;
+}
+
+std::vector<NodeId> switch_neighbors(const Topology& topo, NodeId sw,
+                                     const char* prefix) {
+  std::vector<NodeId> out;
+  for (LinkId l : topo.out_links(sw)) {
+    const auto& n = topo.node(topo.link(l).dst);
+    if (n.kind == net::NodeKind::kSwitch && n.name.starts_with(prefix)) {
+      out.push_back(n.id);
+    }
+  }
+  return out;
+}
+
+/// Builds one up/down fat-tree path src→dst without running Yen: pick an
+/// aggregation (and, across pods, core) switch at random and chain the
+/// links. O(k) per path, so pools for thousands of flows build instantly.
+std::vector<LinkId> fat_tree_path(const Topology& topo, NodeId src, NodeId dst,
+                                  util::Xoshiro256& rng) {
+  const NodeId e1 = edge_of(topo, src);
+  const NodeId e2 = edge_of(topo, dst);
+  std::vector<LinkId> path{*topo.find_link(src, e1)};
+  if (e1 == e2) {
+    path.push_back(*topo.find_link(e1, dst));
+    return path;
+  }
+  const auto aggs = switch_neighbors(topo, e1, "agg-");
+  const std::size_t pick = rng.below(aggs.size());
+  // Same pod: some agg neighbors e2 directly.
+  for (std::size_t i = 0; i < aggs.size(); ++i) {
+    const NodeId agg = aggs[(pick + i) % aggs.size()];
+    if (const auto down = topo.find_link(agg, e2)) {
+      path.push_back(*topo.find_link(e1, agg));
+      path.push_back(*down);
+      path.push_back(*topo.find_link(e2, dst));
+      return path;
+    }
+  }
+  // Cross-pod: up to a core over the picked agg, down to the same-index agg
+  // in dst's pod (every core sees exactly one agg per pod).
+  const NodeId agg1 = aggs[pick];
+  const auto cores = switch_neighbors(topo, agg1, "core-");
+  const NodeId core = cores[rng.below(cores.size())];
+  for (LinkId l : topo.out_links(core)) {
+    const NodeId agg2 = topo.link(l).dst;
+    if (agg2 == agg1) continue;
+    if (const auto down = topo.find_link(agg2, e2)) {
+      path.push_back(*topo.find_link(e1, agg1));
+      path.push_back(*topo.find_link(agg1, core));
+      path.push_back(l);
+      path.push_back(*down);
+      path.push_back(*topo.find_link(e2, dst));
+      return path;
+    }
+  }
+  std::fprintf(stderr, "no fat-tree path %u -> %u\n", src.value(),
+               dst.value());
+  std::abort();
+}
+
+struct CellResult {
+  double wall_ns_per_event = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t recomputes = 0;
+  std::uint64_t links_touched = 0;
+  double ramp_ms = 0.0;
+  double window_ms = 0.0;
+};
+
+CellResult run_cell(const Topology& topo, RateEngine engine,
+                    std::size_t concurrent, int churn, std::uint64_t seed) {
+  sim::Simulation sim(seed);
+  Fabric fabric(sim, topo, FabricConfig{engine});
+  util::Xoshiro256 rng(seed);
+  const auto hosts = topo.hosts();
+
+  auto random_pair = [&] {
+    const NodeId src = hosts[rng.below(hosts.size())];
+    NodeId dst = src;
+    while (dst == src) dst = hosts[rng.below(hosts.size())];
+    return std::pair{src, dst};
+  };
+
+  const auto ramp_begin = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < concurrent; ++i) {
+    const auto [src, dst] = random_pair();
+    FlowSpec spec;
+    spec.src = src;
+    spec.dst = dst;
+    spec.size = Bytes{1'000'000'000'000};  // outlives the measurement window
+    spec.path = fat_tree_path(topo, src, dst, rng);
+    fabric.start_flow(spec);
+  }
+  const auto ramp_end = std::chrono::steady_clock::now();
+
+  // Measurement window: M short flows staggered 1 ms apart; each start and
+  // each completion recomputes against the full steady-state backdrop.
+  int completed = 0;
+  for (int i = 0; i < churn; ++i) {
+    const auto [src, dst] = random_pair();
+    FlowSpec spec;
+    spec.src = src;
+    spec.dst = dst;
+    spec.size = Bytes{static_cast<std::int64_t>(1'000'000 +
+                                                rng.below(10'000'000))};
+    spec.path = fat_tree_path(topo, src, dst, rng);
+    sim.at(SimTime{(i + 1) * 1'000'000LL}, [&fabric, &completed, spec] {
+      fabric.start_flow(spec, [&completed](net::FlowId, SimTime) {
+        ++completed;
+      });
+    });
+  }
+
+  const auto c0 = fabric.counters();
+  const std::uint64_t started0 = fabric.flows_started();
+  const auto window_begin = std::chrono::steady_clock::now();
+  while (completed < churn && sim.queue().run_one()) {
+  }
+  const auto window_end = std::chrono::steady_clock::now();
+  const auto c1 = fabric.counters();
+
+  CellResult r;
+  r.events = (fabric.flows_started() - started0) +
+             (c1.completion_events - c0.completion_events);
+  const auto wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(window_end -
+                                                           window_begin)
+          .count());
+  r.wall_ns_per_event = r.events ? wall_ns / static_cast<double>(r.events) : 0;
+  r.recomputes = c1.recomputes - c0.recomputes;
+  r.links_touched = c1.links_touched - c0.links_touched;
+  r.ramp_ms = std::chrono::duration_cast<std::chrono::microseconds>(
+                  ramp_end - ramp_begin)
+                  .count() /
+              1000.0;
+  r.window_ms = wall_ns / 1e6;
+  return r;
+  // The N long flows are dropped untimed with the fabric.
+}
+
+/// Medians out machine noise: the cell is run `reps` times (the seed makes
+/// every run identical, so event counts and counters agree) and the run
+/// with the median window time is reported.
+CellResult run_cell_median(const Topology& topo, RateEngine engine,
+                           std::size_t concurrent, int churn,
+                           std::uint64_t seed, int reps) {
+  std::vector<CellResult> runs;
+  runs.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    runs.push_back(run_cell(topo, engine, concurrent, churn, seed));
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const CellResult& a, const CellResult& b) {
+              return a.wall_ns_per_event < b.wall_ns_per_event;
+            });
+  return runs[runs.size() / 2];
+}
+
+long peak_rss_kb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+void emit_cell(std::FILE* out, const char* name, const CellResult& r) {
+  std::fprintf(out,
+               "      \"%s\": {\"wall_ns_per_event\": %.1f, \"events\": %llu, "
+               "\"recomputes\": %llu, \"links_touched\": %llu, "
+               "\"ramp_ms\": %.2f, \"window_ms\": %.2f}",
+               name, r.wall_ns_per_event,
+               static_cast<unsigned long long>(r.events),
+               static_cast<unsigned long long>(r.recomputes),
+               static_cast<unsigned long long>(r.links_touched), r.ramp_ms,
+               r.window_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_fabric.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  const std::vector<std::size_t> ks = smoke ? std::vector<std::size_t>{4}
+                                            : std::vector<std::size_t>{4, 8};
+  const std::vector<std::size_t> flow_counts =
+      smoke ? std::vector<std::size_t>{100, 300}
+            : std::vector<std::size_t>{100, 500, 1000, 2000, 5000};
+  const int churn = smoke ? 40 : 200;
+  const int reps = 3;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"fabric_scaling\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n  \"churn_events\": %d,\n",
+               smoke ? "true" : "false", churn);
+  std::fprintf(out, "  \"reps_per_cell\": %d,\n", reps);
+  std::fprintf(out, "  \"cells\": [\n");
+
+  std::printf("%-14s %8s | %14s %14s | %8s\n", "topology", "flows",
+              "full ns/ev", "incr ns/ev", "speedup");
+  bool first = true;
+  for (const std::size_t k : ks) {
+    net::FatTreeConfig cfg;
+    cfg.k = k;
+    const Topology topo = net::make_fat_tree(cfg);
+    const std::string label = "fat_tree_k" + std::to_string(k);
+    for (const std::size_t n : flow_counts) {
+      const CellResult inc =
+          run_cell_median(topo, RateEngine::kIncremental, n, churn, 7, reps);
+      const CellResult full =
+          run_cell_median(topo, RateEngine::kFullRecompute, n, churn, 7, reps);
+      const double speedup =
+          inc.wall_ns_per_event > 0.0
+              ? full.wall_ns_per_event / inc.wall_ns_per_event
+              : 0.0;
+      std::printf("%-14s %8zu | %14.0f %14.0f | %7.1fx\n", label.c_str(), n,
+                  full.wall_ns_per_event, inc.wall_ns_per_event, speedup);
+      std::fflush(stdout);
+
+      if (!first) std::fprintf(out, ",\n");
+      first = false;
+      std::fprintf(out,
+                   "    {\"topology\": \"%s\", \"k\": %zu, \"flows\": %zu,\n",
+                   label.c_str(), k, n);
+      emit_cell(out, "full", full);
+      std::fprintf(out, ",\n");
+      emit_cell(out, "incremental", inc);
+      std::fprintf(out, ",\n      \"speedup\": %.2f,\n", speedup);
+      std::fprintf(out, "      \"peak_rss_kb\": %ld}", peak_rss_kb());
+    }
+  }
+  std::fprintf(out, "\n  ],\n  \"peak_rss_kb\": %ld\n}\n", peak_rss_kb());
+  std::fclose(out);
+  std::printf("wrote %s (peak RSS %ld KiB)\n", out_path.c_str(),
+              peak_rss_kb());
+  return 0;
+}

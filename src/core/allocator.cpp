@@ -40,7 +40,10 @@ util::Bytes Allocator::pair_outstanding(net::NodeId src,
 
 net::Path Allocator::effective_path(const net::Path& chosen) const {
   if (cfg_.aggregation == Aggregation::kServerPair) return chosen;
-  assert(chosen.links.size() >= 2);
+  // An intra-rack path (host→ToR→host, 2 links) has no inter-ToR segment to
+  // aggregate over; stripping the access links would leave an empty rack rule.
+  // Such pairs are installed at server granularity instead (see install()).
+  if (chosen.links.size() < 3) return chosen;
   net::Path chain;
   chain.links.assign(chosen.links.begin() + 1, chosen.links.end() - 1);
   return chain;
@@ -48,7 +51,8 @@ net::Path Allocator::effective_path(const net::Path& chosen) const {
 
 bool Allocator::install(net::NodeId src, net::NodeId dst,
                         const net::Path& chosen, util::Bytes volume_hint) {
-  if (cfg_.aggregation == Aggregation::kServerPair) {
+  if (cfg_.aggregation == Aggregation::kServerPair ||
+      chosen.links.size() < 3) {
     return controller_->install_path(src, dst, chosen, volume_hint);
   }
   const auto& topo = controller_->topology();

@@ -13,52 +13,150 @@ namespace {
 /// A flow whose settled remainder drops below this is considered delivered;
 /// sub-byte residue is floating-point noise from rate integration.
 constexpr double kDoneEpsilonBytes = 0.5;
+constexpr std::uint32_t kNoPos = std::numeric_limits<std::uint32_t>::max();
+constexpr std::uint32_t kNoLink = std::numeric_limits<std::uint32_t>::max();
+
+/// Min-heap order on (eta, slot); slot breaks ties deterministically.
+struct EtaLater {
+  bool operator()(const auto& a, const auto& b) const {
+    if (a.eta_ns != b.eta_ns) return a.eta_ns > b.eta_ns;
+    return a.slot > b.slot;
+  }
+};
 }  // namespace
 
-Fabric::Fabric(sim::Simulation& sim, const Topology& topo)
+Fabric::Fabric(sim::Simulation& sim, const Topology& topo, FabricConfig cfg)
     : sim_(&sim),
       topo_(&topo),
+      cfg_(cfg),
+      link_flows_(topo.link_count()),
       cbr_load_bps_(topo.link_count(), 0.0),
       link_up_(topo.link_count(), 1),
       elastic_rate_bps_(topo.link_count(), 0.0),
       class_rate_bps_(topo.link_count(), {0.0, 0.0, 0.0, 0.0}),
+      link_dirty_(topo.link_count(), 0),
+      residual_(topo.link_count(), 0.0),
+      unfixed_weight_(topo.link_count(), 0.0),
+      unfixed_count_(topo.link_count(), 0),
+      link_share_(topo.link_count(), 0.0),
+      link_in_comp_(topo.link_count(), 0),
       last_settle_(sim.now()) {}
+
+std::uint32_t Fabric::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(flows_.size());
+  flows_.emplace_back();
+  callbacks_.emplace_back();
+  active_pos_.push_back(kNoPos);
+  flow_fixed_.push_back(0);
+  flow_in_comp_.push_back(0);
+  eta_stamp_.push_back(0);
+  return slot;
+}
+
+void Fabric::release_slot(std::uint32_t slot) {
+  // The completed Flow record stays readable until the slot is reused.
+  callbacks_[slot] = nullptr;
+  ++eta_stamp_[slot];
+  free_slots_.push_back(slot);
+}
+
+void Fabric::insert_link_flow(LinkId l, FlowId id) {
+  auto& v = link_flows_[l.value()];
+  v.insert(std::upper_bound(v.begin(), v.end(), id,
+                            [](FlowId a, FlowId b) {
+                              return a.value() < b.value();
+                            }),
+           id);
+}
+
+void Fabric::remove_link_flow(LinkId l, FlowId id) {
+  auto& v = link_flows_[l.value()];
+  const auto it = std::lower_bound(v.begin(), v.end(), id,
+                                   [](FlowId a, FlowId b) {
+                                     return a.value() < b.value();
+                                   });
+  assert(it != v.end() && *it == id);
+  v.erase(it);
+}
+
+void Fabric::mark_dirty(LinkId l) {
+  if (link_dirty_[l.value()]) return;
+  link_dirty_[l.value()] = 1;
+  dirty_links_.push_back(l.value());
+}
+
+void Fabric::mark_all_dirty() {
+  for (std::uint32_t l = 0; l < link_dirty_.size(); ++l) {
+    if (!link_dirty_[l]) {
+      link_dirty_[l] = 1;
+      dirty_links_.push_back(l);
+    }
+  }
+}
+
+void Fabric::clear_dirty() {
+  for (std::uint32_t l : dirty_links_) link_dirty_[l] = 0;
+  dirty_links_.clear();
+}
+
+double Fabric::elastic_headroom(std::uint32_t l) const {
+  if (!link_up_[l]) return 0.0;
+  return std::max(
+      0.0, topo_->link(LinkId{l}).capacity.bps() - cbr_load_bps_[l]);
+}
 
 FlowId Fabric::start_flow(FlowSpec spec, FlowCompleteFn on_complete) {
   assert(topo_->validate_path(spec.src, spec.dst, spec.path) &&
          "flow path must connect src to dst");
   assert(spec.size >= util::Bytes::zero());
-  const FlowId id{static_cast<std::uint32_t>(flows_.size())};
-  Flow f;
-  f.id = id;
+  const std::uint32_t slot = acquire_slot();
+  Flow& f = flows_[slot];
+  f = Flow{};
+  f.id = FlowId{slot};
   f.spec = std::move(spec);
   f.started = sim_->now();
   f.remaining_bytes = f.spec.size.as_double();
-  flows_.push_back(std::move(f));
+  const FlowId id = f.id;
   ++flows_started_;
-  if (on_complete) callbacks_[id.value()] = std::move(on_complete);
+  callbacks_[slot] = std::move(on_complete);
 
-  if (flows_.back().remaining_bytes <= kDoneEpsilonBytes) {
+  if (f.remaining_bytes <= kDoneEpsilonBytes) {
     // Zero-byte flow: complete immediately (still async via the queue so that
-    // callers never re-enter themselves synchronously).
-    Flow& zf = flows_.back();
-    zf.completed = true;
-    zf.completed_at = sim_->now();
+    // callers never re-enter themselves synchronously). The start event fires
+    // first so observers that pair start/complete state stay consistent.
+    f.completed = true;
+    f.completed_at = sim_->now();
+    f.reported_bytes = f.spec.size.count();
     ++flows_completed_;
-    sim_->after(util::Duration::zero(), [this, id] {
+    bytes_delivered_ += f.spec.size;
+    for (auto* obs : observers_) {
+      obs->on_flow_started(*this, id, sim_->now());
+    }
+    sim_->after(util::Duration::zero(), [this, slot] {
+      const FlowId done{slot};
       for (auto* obs : observers_) {
-        obs->on_flow_completed(*this, id, sim_->now());
+        obs->on_flow_completed(*this, done, sim_->now());
       }
-      if (auto it = callbacks_.find(id.value()); it != callbacks_.end()) {
-        auto fn = std::move(it->second);
-        callbacks_.erase(it);
-        fn(id, sim_->now());
-      }
+      auto fn = std::move(callbacks_[slot]);
+      callbacks_[slot] = nullptr;
+      if (fn) fn(done, sim_->now());
+      release_slot(slot);
     });
     return id;
   }
 
+  assert(!f.spec.path.empty() && "a non-local flow needs a link path");
+  active_pos_[slot] = static_cast<std::uint32_t>(active_.size());
   active_.push_back(id);
+  for (LinkId l : f.spec.path) {
+    insert_link_flow(l, id);
+    mark_dirty(l);
+  }
   settle_and_recompute();
   for (auto* obs : observers_) {
     obs->on_flow_started(*this, id, sim_->now());
@@ -73,6 +171,7 @@ void Fabric::set_flow_weight(FlowId id, double weight) {
   if (f.completed || f.spec.weight == weight) return;
   settle();
   f.spec.weight = weight;
+  for (LinkId l : f.spec.path) mark_dirty(l);
   recompute_rates();
   schedule_next_completion();
 }
@@ -84,7 +183,15 @@ void Fabric::reroute_flow(FlowId id, std::vector<LinkId> new_path) {
   assert(topo_->validate_path(f.spec.src, f.spec.dst, new_path) &&
          "reroute path must connect the flow's endpoints");
   settle();  // account bytes moved on the old path first
+  for (LinkId l : f.spec.path) {
+    remove_link_flow(l, id);
+    mark_dirty(l);
+  }
   f.spec.path = std::move(new_path);
+  for (LinkId l : f.spec.path) {
+    insert_link_flow(l, id);
+    mark_dirty(l);
+  }
   recompute_rates();
   schedule_next_completion();
 }
@@ -95,6 +202,7 @@ CbrId Fabric::start_cbr(std::vector<LinkId> path, util::BitsPerSec rate) {
   for (LinkId l : path) {
     assert(l.value() < cbr_load_bps_.size());
     cbr_load_bps_[l.value()] += rate.bps();
+    mark_dirty(l);
   }
   cbrs_.push_back(CbrStream{std::move(path), rate.bps(), true});
   settle_and_recompute();
@@ -108,6 +216,7 @@ void Fabric::stop_cbr(CbrId id) {
   for (LinkId l : s.path) {
     cbr_load_bps_[l.value()] -= s.rate_bps;
     if (cbr_load_bps_[l.value()] < 0.0) cbr_load_bps_[l.value()] = 0.0;
+    mark_dirty(l);
   }
   s.active = false;
   settle_and_recompute();
@@ -127,22 +236,23 @@ util::BitsPerSec Fabric::link_class_rate(LinkId l, FlowClass cls) const {
 }
 
 double Fabric::link_utilization(LinkId l) const {
+  if (!link_up_[l.value()]) return 0.0;  // a dead port serves nothing
   const double cap = topo_->link(l).capacity.bps();
+  if (cap <= 0.0) return 0.0;
   const double used =
       std::min(cbr_load_bps_[l.value()], cap) + elastic_rate_bps_[l.value()];
   return std::clamp(used / cap, 0.0, 1.0);
 }
 
 util::BitsPerSec Fabric::link_residual_capacity(LinkId l) const {
-  if (!link_up_[l.value()]) return util::BitsPerSec::zero();
-  const double cap = topo_->link(l).capacity.bps();
-  return util::BitsPerSec{std::max(0.0, cap - cbr_load_bps_[l.value()])};
+  return util::BitsPerSec{elastic_headroom(l.value())};
 }
 
 void Fabric::fail_link(LinkId l) {
   assert(l.value() < link_up_.size());
   if (!link_up_[l.value()]) return;
   link_up_[l.value()] = 0;
+  mark_dirty(l);
   settle_and_recompute();
 }
 
@@ -150,18 +260,8 @@ void Fabric::restore_link(LinkId l) {
   assert(l.value() < link_up_.size());
   if (link_up_[l.value()]) return;
   link_up_[l.value()] = 1;
+  mark_dirty(l);
   settle_and_recompute();
-}
-
-std::vector<FlowId> Fabric::flows_crossing(LinkId l) const {
-  std::vector<FlowId> out;
-  for (FlowId id : active_) {
-    const auto& path = flows_[id.value()].spec.path;
-    if (std::find(path.begin(), path.end(), l) != path.end()) {
-      out.push_back(id);
-    }
-  }
-  return out;
 }
 
 const Flow& Fabric::flow(FlowId id) const {
@@ -173,7 +273,12 @@ bool Fabric::flow_active(FlowId id) const {
   return id.value() < flows_.size() && !flows_[id.value()].completed;
 }
 
-std::vector<FlowId> Fabric::active_flows() const { return active_; }
+std::vector<FlowId> Fabric::active_flows() const {
+  std::vector<FlowId> out = active_;
+  std::sort(out.begin(), out.end(),
+            [](FlowId a, FlowId b) { return a.value() < b.value(); });
+  return out;
+}
 
 void Fabric::settle() {
   const util::SimTime now = sim_->now();
@@ -182,94 +287,249 @@ void Fabric::settle() {
     last_settle_ = now;
     return;
   }
+  ++counters_.settles;
   const double secs = dt.seconds();
   for (FlowId id : active_) {
     Flow& f = flows_[id.value()];
     const double moved =
         std::min(f.remaining_bytes, f.rate.bytes_per_sec() * secs);
-    if (moved > 0.0) {
-      f.remaining_bytes -= moved;
+    if (moved > 0.0) f.remaining_bytes -= moved;
+    // Report integer bytes with a carried fractional residue: observers see
+    // floor(delivered) cumulatively and exactly spec.size once the flow is
+    // done, so probe totals never drift from the delivered volume.
+    const std::int64_t target =
+        f.remaining_bytes <= kDoneEpsilonBytes
+            ? f.spec.size.count()
+            : static_cast<std::int64_t>(f.spec.size.as_double() -
+                                        f.remaining_bytes);
+    const std::int64_t whole = target - f.reported_bytes;
+    if (whole > 0) {
+      f.reported_bytes = target;
       for (auto* obs : observers_) {
-        obs->on_bytes_moved(*this, id,
-                            util::Bytes{static_cast<std::int64_t>(moved + 0.5)},
-                            last_settle_, now);
+        obs->on_bytes_moved(*this, id, util::Bytes{whole}, last_settle_, now);
       }
     }
   }
   last_settle_ = now;
 }
 
-void Fabric::recompute_rates() {
-  ++recomputes_;
-  std::fill(elastic_rate_bps_.begin(), elastic_rate_bps_.end(), 0.0);
-  for (auto& per_class : class_rate_bps_) per_class.fill(0.0);
+void Fabric::set_rate(Flow& f, double rate_bps) {
+  const util::BitsPerSec r{rate_bps};
+  if (f.rate == r) return;  // eta unchanged: absolute deadline is invariant
+  f.rate = r;
+  push_eta(f);
+}
 
-  // Residual capacity per link after the non-backing-off CBR load.
-  std::vector<double> residual(topo_->link_count());
-  std::vector<double> unfixed_weight(topo_->link_count(), 0.0);
-  std::vector<std::uint32_t> unfixed_count(topo_->link_count(), 0);
-  for (std::size_t l = 0; l < residual.size(); ++l) {
-    if (!link_up_[l]) {
-      residual[l] = 0.0;
-      continue;
-    }
-    residual[l] = std::max(
-        0.0, topo_->link(LinkId{static_cast<std::uint32_t>(l)}).capacity.bps() -
-                 cbr_load_bps_[l]);
+void Fabric::push_eta(Flow& f) {
+  const std::uint32_t slot = f.id.value();
+  const std::uint64_t stamp = ++eta_stamp_[slot];
+  if (f.rate.bps() <= 0.0) return;  // starved: re-examined on the next change
+  // Ceil to the next nanosecond so the settled remainder at the event is
+  // never still above the epsilon.
+  const double secs = f.remaining_bytes / f.rate.bytes_per_sec();
+  const auto eta_ns =
+      sim_->now().ns() + static_cast<std::int64_t>(std::ceil(secs * 1e9));
+  eta_heap_.push_back(EtaEntry{eta_ns, slot, stamp});
+  std::push_heap(eta_heap_.begin(), eta_heap_.end(), EtaLater{});
+  if (eta_heap_.size() > 64 && eta_heap_.size() > 8 * active_.size()) {
+    compact_eta_heap();
   }
-  for (FlowId id : active_) {
-    const Flow& f = flows_[id.value()];
-    for (LinkId l : f.spec.path) {
-      unfixed_weight[l.value()] += f.spec.weight;
-      ++unfixed_count[l.value()];
+}
+
+void Fabric::compact_eta_heap() {
+  std::erase_if(eta_heap_, [this](const EtaEntry& e) {
+    return e.stamp != eta_stamp_[e.slot];
+  });
+  std::make_heap(eta_heap_.begin(), eta_heap_.end(), EtaLater{});
+}
+
+void Fabric::recompute_rates() {
+  ++counters_.recomputes;
+  if (cfg_.rate_engine == RateEngine::kFullRecompute) {
+    clear_dirty();
+    fill_full();
+    return;
+  }
+  if (dirty_links_.empty()) return;  // probe-forced accounting point
+  collect_component();
+  clear_dirty();
+  fill_component();
+}
+
+void Fabric::collect_component() {
+  // BFS over the bipartite link/flow graph from the dirty seed: any flow
+  // crossing a touched link, and any link such a flow crosses, can see its
+  // allocation change; everything outside the closure provably cannot.
+  comp_links_.clear();
+  comp_flows_.clear();
+  for (std::uint32_t l : dirty_links_) {
+    link_in_comp_[l] = 1;
+    comp_links_.push_back(l);
+  }
+  for (std::size_t head = 0; head < comp_links_.size(); ++head) {
+    const std::uint32_t l = comp_links_[head];
+    for (FlowId fid : link_flows_[l]) {
+      const std::uint32_t slot = fid.value();
+      if (flow_in_comp_[slot]) continue;
+      flow_in_comp_[slot] = 1;
+      comp_flows_.push_back(slot);
+      for (LinkId l2 : flows_[slot].spec.path) {
+        if (link_in_comp_[l2.value()]) continue;
+        link_in_comp_[l2.value()] = 1;
+        comp_links_.push_back(l2.value());
+      }
     }
   }
+  std::sort(comp_links_.begin(), comp_links_.end());
+  for (std::uint32_t l : comp_links_) link_in_comp_[l] = 0;
+  for (std::uint32_t s : comp_flows_) flow_in_comp_[s] = 0;
+  counters_.links_touched += comp_links_.size();
+  counters_.flows_touched += comp_flows_.size();
+  if (comp_links_.size() == link_flows_.size()) ++counters_.full_fills;
+}
+
+void Fabric::fill_component() {
+  for (std::uint32_t l : comp_links_) {
+    elastic_rate_bps_[l] = 0.0;
+    class_rate_bps_[l].fill(0.0);
+    residual_[l] = elastic_headroom(l);
+    double weight = 0.0;
+    std::uint32_t count = 0;
+    for (FlowId fid : link_flows_[l]) {
+      weight += flows_[fid.value()].spec.weight;
+      ++count;
+    }
+    unfixed_weight_[l] = weight;
+    unfixed_count_[l] = count;
+    link_share_[l] = residual_[l] / std::max(weight, 1e-12);
+  }
+  for (std::uint32_t slot : comp_flows_) flow_fixed_[slot] = 0;
 
   // Weighted progressive filling: repeatedly saturate the link with the
   // smallest fair share per unit weight, freeze its flows at weight x share,
   // and subtract them everywhere. Weight 1 on every flow degenerates to the
-  // classic max-min allocation.
-  std::vector<char> fixed(flows_.size(), 0);
-  std::size_t remaining_flows = active_.size();
+  // classic max-min allocation. Candidate links that empty out are compacted
+  // away (in order) so later rounds scan only still-contended links.
+  cand_links_ = comp_links_;
+  std::size_t remaining_flows = comp_flows_.size();
   while (remaining_flows > 0) {
     double best_share = std::numeric_limits<double>::infinity();
-    std::size_t best_link = SIZE_MAX;
-    for (std::size_t l = 0; l < residual.size(); ++l) {
+    std::uint32_t best_link = kNoLink;
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < cand_links_.size(); ++i) {
+      const std::uint32_t l = cand_links_[i];
       // The integer count is the authoritative emptiness test: the weight
       // sum accumulates floating-point residue as flows freeze.
-      if (unfixed_count[l] == 0) continue;
-      const double share = residual[l] / std::max(unfixed_weight[l], 1e-12);
+      if (unfixed_count_[l] == 0) continue;
+      cand_links_[out++] = l;
+      const double share = link_share_[l];  // cached, refreshed on freeze
       if (share < best_share) {
         best_share = share;
         best_link = l;
       }
     }
-    assert(best_link != SIZE_MAX);
+    cand_links_.resize(out);
+    assert(best_link != kNoLink);
     if (best_share < 0.0) best_share = 0.0;
 
-    // Freeze every unfixed flow crossing the bottleneck.
-    for (FlowId id : active_) {
-      Flow& f = flows_[id.value()];
-      if (fixed[id.value()]) continue;
+    // Freeze every unfixed flow crossing the bottleneck (ascending by id —
+    // the same order the full fill visits them).
+    for (FlowId fid : link_flows_[best_link]) {
+      const std::uint32_t slot = fid.value();
+      if (flow_fixed_[slot]) continue;
+      Flow& f = flows_[slot];
+      const double rate = best_share * f.spec.weight;
+      set_rate(f, rate);
+      flow_fixed_[slot] = 1;
+      --remaining_flows;
+      for (LinkId l : f.spec.path) {
+        const std::uint32_t lv = l.value();
+        residual_[lv] = std::max(0.0, residual_[lv] - rate);
+        unfixed_weight_[lv] =
+            std::max(0.0, unfixed_weight_[lv] - f.spec.weight);
+        assert(unfixed_count_[lv] > 0);
+        --unfixed_count_[lv];
+        link_share_[lv] = residual_[lv] / std::max(unfixed_weight_[lv], 1e-12);
+      }
+    }
+  }
+
+  for (std::uint32_t l : comp_links_) {
+    for (FlowId fid : link_flows_[l]) {
+      const Flow& f = flows_[fid.value()];
+      elastic_rate_bps_[l] += f.rate.bps();
+      class_rate_bps_[l][static_cast<std::size_t>(f.spec.cls)] += f.rate.bps();
+    }
+  }
+}
+
+void Fabric::fill_full() {
+  // The original O(rounds × links × flows) progressive fill, preserved as
+  // the baseline. Flows are visited in ascending id order at every step so
+  // the floating-point operation sequence matches fill_component() exactly
+  // (the differential tests rely on bit-identical allocations).
+  counters_.links_touched += link_flows_.size();
+  counters_.flows_touched += active_.size();
+  ++counters_.full_fills;
+
+  sorted_active_ = active_;
+  std::sort(sorted_active_.begin(), sorted_active_.end(),
+            [](FlowId a, FlowId b) { return a.value() < b.value(); });
+
+  std::fill(elastic_rate_bps_.begin(), elastic_rate_bps_.end(), 0.0);
+  for (auto& per_class : class_rate_bps_) per_class.fill(0.0);
+  for (std::uint32_t l = 0; l < residual_.size(); ++l) {
+    residual_[l] = elastic_headroom(l);
+    unfixed_weight_[l] = 0.0;
+    unfixed_count_[l] = 0;
+  }
+  for (FlowId id : sorted_active_) {
+    const Flow& f = flows_[id.value()];
+    flow_fixed_[id.value()] = 0;
+    for (LinkId l : f.spec.path) {
+      unfixed_weight_[l.value()] += f.spec.weight;
+      ++unfixed_count_[l.value()];
+    }
+  }
+
+  std::size_t remaining_flows = sorted_active_.size();
+  while (remaining_flows > 0) {
+    double best_share = std::numeric_limits<double>::infinity();
+    std::uint32_t best_link = kNoLink;
+    for (std::uint32_t l = 0; l < residual_.size(); ++l) {
+      if (unfixed_count_[l] == 0) continue;
+      const double share = residual_[l] / std::max(unfixed_weight_[l], 1e-12);
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+      }
+    }
+    assert(best_link != kNoLink);
+    if (best_share < 0.0) best_share = 0.0;
+
+    for (FlowId id : sorted_active_) {
+      const std::uint32_t slot = id.value();
+      if (flow_fixed_[slot]) continue;
+      Flow& f = flows_[slot];
       const bool crosses =
           std::any_of(f.spec.path.begin(), f.spec.path.end(),
                       [best_link](LinkId l) { return l.value() == best_link; });
       if (!crosses) continue;
       const double rate = best_share * f.spec.weight;
-      f.rate = util::BitsPerSec{rate};
-      fixed[id.value()] = 1;
+      set_rate(f, rate);
+      flow_fixed_[slot] = 1;
       --remaining_flows;
       for (LinkId l : f.spec.path) {
-        residual[l.value()] = std::max(0.0, residual[l.value()] - rate);
-        unfixed_weight[l.value()] =
-            std::max(0.0, unfixed_weight[l.value()] - f.spec.weight);
-        assert(unfixed_count[l.value()] > 0);
-        --unfixed_count[l.value()];
+        residual_[l.value()] = std::max(0.0, residual_[l.value()] - rate);
+        unfixed_weight_[l.value()] =
+            std::max(0.0, unfixed_weight_[l.value()] - f.spec.weight);
+        assert(unfixed_count_[l.value()] > 0);
+        --unfixed_count_[l.value()];
       }
     }
   }
 
-  for (FlowId id : active_) {
+  for (FlowId id : sorted_active_) {
     const Flow& f = flows_[id.value()];
     for (LinkId l : f.spec.path) {
       elastic_rate_bps_[l.value()] += f.rate.bps();
@@ -280,54 +540,72 @@ void Fabric::recompute_rates() {
 }
 
 void Fabric::schedule_next_completion() {
-  completion_event_.cancel();
-  if (active_.empty()) return;
-  double soonest_secs = std::numeric_limits<double>::infinity();
-  for (FlowId id : active_) {
-    const Flow& f = flows_[id.value()];
-    if (f.rate.bps() <= 0.0) continue;  // starved; re-examined on next change
-    soonest_secs =
-        std::min(soonest_secs, f.remaining_bytes / f.rate.bytes_per_sec());
+  while (!eta_heap_.empty() &&
+         eta_heap_.front().stamp != eta_stamp_[eta_heap_.front().slot]) {
+    std::pop_heap(eta_heap_.begin(), eta_heap_.end(), EtaLater{});
+    eta_heap_.pop_back();
   }
-  if (!std::isfinite(soonest_secs)) return;
-  // Ceil to the next nanosecond so the settled remainder at the event is
-  // never still above the epsilon.
-  auto delay = util::Duration{
-      static_cast<std::int64_t>(std::ceil(soonest_secs * 1e9))};
-  if (delay < util::Duration::zero()) delay = util::Duration::zero();
-  completion_event_ = sim_->after(delay, [this] { on_completion_event(); });
+  if (eta_heap_.empty()) {
+    completion_event_.cancel();
+    scheduled_eta_ns_ = -1;
+    return;
+  }
+  const std::int64_t eta = eta_heap_.front().eta_ns;
+  if (eta == scheduled_eta_ns_ && completion_event_.valid() &&
+      !completion_event_.cancelled()) {
+    return;  // already armed for this instant
+  }
+  completion_event_.cancel();
+  scheduled_eta_ns_ = eta;
+  completion_event_ =
+      sim_->at(util::SimTime{eta}, [this] { on_completion_event(); });
 }
 
 void Fabric::on_completion_event() {
+  scheduled_eta_ns_ = -1;
   settle();
+  ++counters_.completion_events;
+  const std::int64_t now_ns = sim_->now().ns();
   // Collect finished flows first: callbacks may start new flows, which
   // mutates active_ and triggers nested recomputes.
   std::vector<FlowId> done;
-  for (FlowId id : active_) {
-    if (flows_[id.value()].remaining_bytes <= kDoneEpsilonBytes) {
-      done.push_back(id);
+  while (!eta_heap_.empty()) {
+    const EtaEntry top = eta_heap_.front();
+    if (top.stamp != eta_stamp_[top.slot]) {
+      std::pop_heap(eta_heap_.begin(), eta_heap_.end(), EtaLater{});
+      eta_heap_.pop_back();
+      continue;
     }
-  }
-  if (!done.empty()) {
-    active_.erase(std::remove_if(active_.begin(), active_.end(),
-                                 [&](FlowId id) {
-                                   return std::find(done.begin(), done.end(),
-                                                    id) != done.end();
-                                 }),
-                  active_.end());
-    for (FlowId id : done) {
-      Flow& f = flows_[id.value()];
-      f.completed = true;
-      f.completed_at = sim_->now();
-      f.remaining_bytes = 0.0;
-      f.rate = util::BitsPerSec::zero();
-      ++flows_completed_;
-      bytes_delivered_ += f.spec.size;
-      PYTHIA_LOG(kDebug, "fabric")
-          << "flow " << id.value() << " completed at "
-          << sim_->now().seconds() << "s (" << f.spec.size.count()
-          << " bytes)";
+    if (top.eta_ns > now_ns) break;
+    std::pop_heap(eta_heap_.begin(), eta_heap_.end(), EtaLater{});
+    eta_heap_.pop_back();
+    Flow& f = flows_[top.slot];
+    if (f.remaining_bytes > kDoneEpsilonBytes) {
+      push_eta(f);  // defensive: deadline drifted, re-arm
+      continue;
     }
+    done.push_back(f.id);
+    const std::uint32_t pos = active_pos_[top.slot];
+    assert(pos != kNoPos);
+    active_[pos] = active_.back();
+    active_pos_[active_.back().value()] = pos;
+    active_.pop_back();
+    active_pos_[top.slot] = kNoPos;
+    for (LinkId l : f.spec.path) {
+      remove_link_flow(l, f.id);
+      mark_dirty(l);
+    }
+    ++eta_stamp_[top.slot];
+    f.completed = true;
+    f.completed_at = sim_->now();
+    f.remaining_bytes = 0.0;
+    f.rate = util::BitsPerSec::zero();
+    ++flows_completed_;
+    bytes_delivered_ += f.spec.size;
+    PYTHIA_LOG(kDebug, "fabric")
+        << "flow " << f.id.value() << " completed at "
+        << sim_->now().seconds() << "s (" << f.spec.size.count()
+        << " bytes)";
   }
   recompute_rates();
   schedule_next_completion();
@@ -338,12 +616,13 @@ void Fabric::on_completion_event() {
     }
   }
   for (FlowId id : done) {
-    if (auto it = callbacks_.find(id.value()); it != callbacks_.end()) {
-      auto fn = std::move(it->second);
-      callbacks_.erase(it);
-      fn(id, sim_->now());
-    }
+    auto fn = std::move(callbacks_[id.value()]);
+    callbacks_[id.value()] = nullptr;
+    if (fn) fn(id, sim_->now());
   }
+  // Slots recycle only after the whole batch has run its callbacks, so a
+  // callback-started flow can never shadow a not-yet-notified sibling.
+  for (FlowId id : done) release_slot(id.value());
 }
 
 void Fabric::settle_and_recompute() {

@@ -8,11 +8,19 @@
 // every flow arrival/departure/CBR change; each flow's remaining volume is
 // settled against simulated time before every recompute, so byte accounting
 // is exact.
+//
+// Two rate engines share the same progressive-fill arithmetic:
+//  * kFullRecompute reruns the fill over every link and flow on each change
+//    (the original O(rounds × links × flows) algorithm, kept as the
+//    differential-testing and benchmarking baseline), while
+//  * kIncremental (default) tracks the links dirtied by each change and
+//    refills only the connected component of links/flows reachable from
+//    them through shared links — flows in untouched components keep their
+//    rates, which are bit-identical to what a full fill would recompute.
 #pragma once
 
 #include <array>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -63,19 +71,50 @@ struct Flow {
   util::BitsPerSec rate;         // current max-min share
   bool completed = false;
   util::SimTime completed_at;
+  /// Integer bytes already reported to observers; the fractional residue
+  /// (spec.size - remaining - reported) is carried so cumulative observer
+  /// totals equal spec.size exactly at completion.
+  std::int64_t reported_bytes = 0;
 };
 
 using FlowCompleteFn = std::function<void(FlowId, util::SimTime)>;
 
+/// Which progressive-fill driver recomputes rates on fabric changes.
+enum class RateEngine {
+  /// Dirty-set incremental: refill only the connected component of
+  /// links/flows affected by the change (falls back to a full fill when the
+  /// component spans every link). Default.
+  kIncremental,
+  /// Legacy full fill over all links and flows on every change. Kept as the
+  /// side-by-side baseline for differential tests and the scaling bench.
+  kFullRecompute,
+};
+
+struct FabricConfig {
+  RateEngine rate_engine = RateEngine::kIncremental;
+};
+
+/// Hot-path counters for perf-trajectory tracking across PRs.
+struct FabricCounters {
+  std::uint64_t recomputes = 0;        // progressive fills run
+  std::uint64_t full_fills = 0;        // fills that spanned every link
+  std::uint64_t links_touched = 0;     // Σ links revisited per fill
+  std::uint64_t flows_touched = 0;     // Σ flows revisited per fill
+  std::uint64_t completion_events = 0; // completion events fired
+  std::uint64_t settles = 0;           // non-empty settle intervals
+};
+
 class Fabric {
  public:
-  Fabric(sim::Simulation& sim, const Topology& topo);
+  Fabric(sim::Simulation& sim, const Topology& topo, FabricConfig cfg = {});
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
   /// Starts an elastic flow; `on_complete` fires (via the event queue) when
   /// the last byte is delivered. The path must connect spec.src to spec.dst.
+  /// FlowIds are recycled once a flow has completed and its callbacks have
+  /// run, so ids are transient handles, not stable history keys.
   FlowId start_flow(FlowSpec spec, FlowCompleteFn on_complete = {});
 
   /// Moves an in-flight flow onto a new path (what a higher-priority
@@ -102,8 +141,12 @@ class Fabric {
   /// Brings a failed link back. Idempotent.
   void restore_link(LinkId l);
   [[nodiscard]] bool link_up(LinkId l) const { return link_up_[l.value()]; }
-  /// Active elastic flows whose current path crosses `l`.
-  [[nodiscard]] std::vector<FlowId> flows_crossing(LinkId l) const;
+  /// Active elastic flows whose current path crosses `l`, ascending by id.
+  /// Indexed (O(flows on link), not O(all active)); returns a copy so
+  /// callers may reroute while iterating.
+  [[nodiscard]] std::vector<FlowId> flows_crossing(LinkId l) const {
+    return link_flows_[l.value()];
+  }
 
   // --- introspection (the SDN link-load service reads these) ---
 
@@ -113,7 +156,8 @@ class Fabric {
   [[nodiscard]] util::BitsPerSec link_elastic_rate(LinkId l) const;
   /// Elastic rate on a link restricted to one traffic class.
   [[nodiscard]] util::BitsPerSec link_class_rate(LinkId l, FlowClass cls) const;
-  /// (cbr + elastic) / capacity, clamped to [0, 1].
+  /// (cbr + elastic) / capacity, clamped to [0, 1]; 0 for failed or
+  /// zero-capacity links (a dead port serves nothing).
   [[nodiscard]] double link_utilization(LinkId l) const;
   /// Capacity minus CBR load, floored at zero — what elastic traffic can get.
   [[nodiscard]] util::BitsPerSec link_residual_capacity(LinkId l) const;
@@ -121,6 +165,7 @@ class Fabric {
   [[nodiscard]] const Flow& flow(FlowId id) const;
   [[nodiscard]] bool flow_active(FlowId id) const;
   [[nodiscard]] std::size_t active_flow_count() const { return active_.size(); }
+  /// Active flow ids in ascending id order (deterministic).
   [[nodiscard]] std::vector<FlowId> active_flows() const;
 
   [[nodiscard]] const Topology& topology() const { return *topo_; }
@@ -135,8 +180,11 @@ class Fabric {
   }
   [[nodiscard]] util::Bytes bytes_delivered() const { return bytes_delivered_; }
   [[nodiscard]] std::uint64_t rate_recomputations() const {
-    return recomputes_;
+    return counters_.recomputes;
   }
+  /// Hot-path perf counters (recomputes, links/flows touched, events).
+  [[nodiscard]] const FabricCounters& counters() const { return counters_; }
+  [[nodiscard]] RateEngine rate_engine() const { return cfg_.rate_engine; }
 
   /// Settles all flows to now() and recomputes max-min rates. Called
   /// automatically on arrivals/departures/CBR changes; public so that probes
@@ -144,17 +192,51 @@ class Fabric {
   void settle_and_recompute();
 
  private:
+  struct EtaEntry {
+    std::int64_t eta_ns;
+    std::uint32_t slot;
+    std::uint64_t stamp;
+  };
+
   void settle();
   void recompute_rates();
   void schedule_next_completion();
   void on_completion_event();
 
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void insert_link_flow(LinkId l, FlowId id);
+  void remove_link_flow(LinkId l, FlowId id);
+  void mark_dirty(LinkId l);
+  void mark_all_dirty();
+  void clear_dirty();
+  /// Residual capacity a link offers elastic flows (shared by both fills so
+  /// the arithmetic is bit-identical).
+  [[nodiscard]] double elastic_headroom(std::uint32_t l) const;
+  void set_rate(Flow& f, double rate_bps);
+  void push_eta(Flow& f);
+  void compact_eta_heap();
+  /// Gathers the component of links/flows reachable from the dirty set into
+  /// comp_links_/comp_flows_.
+  void collect_component();
+  /// Progressive fill restricted to comp_links_/comp_flows_ using the
+  /// per-link flow index.
+  void fill_component();
+  /// Legacy progressive fill over every link and active flow.
+  void fill_full();
+
   sim::Simulation* sim_;
   const Topology* topo_;
+  FabricConfig cfg_;
 
-  std::vector<Flow> flows_;              // indexed by FlowId; completed stay
-  std::vector<FlowId> active_;           // ids of in-flight flows
-  std::vector<double> cbr_load_bps_;     // per link
+  std::vector<Flow> flows_;                  // slot-indexed; slots recycled
+  std::vector<FlowCompleteFn> callbacks_;    // parallel to flows_
+  std::vector<std::uint32_t> free_slots_;    // completed slots ready for reuse
+  std::vector<FlowId> active_;               // unordered; O(1) erase
+  std::vector<std::uint32_t> active_pos_;    // slot -> index in active_
+  std::vector<std::vector<FlowId>> link_flows_;  // per link, ascending by id
+
+  std::vector<double> cbr_load_bps_;  // per link
   struct CbrStream {
     std::vector<LinkId> path;
     double rate_bps;
@@ -165,15 +247,44 @@ class Fabric {
   std::vector<double> elastic_rate_bps_;  // per link, refreshed on recompute
   std::vector<std::array<double, 4>> class_rate_bps_;  // per link, per class
 
+  // Dirty-link accumulator consumed by the next recompute.
+  std::vector<std::uint32_t> dirty_links_;
+  std::vector<char> link_dirty_;
+
+  // Scratch buffers reused across fills (no per-recompute allocation).
+  std::vector<double> residual_;
+  std::vector<double> unfixed_weight_;
+  std::vector<std::uint32_t> unfixed_count_;
+  // Cached residual_/max(unfixed_weight_, eps) per link, refreshed only when
+  // a freeze touches the link, so the per-round bottleneck scan compares
+  // instead of dividing. Each cached value is the exact division the inline
+  // expression would produce (same operands), which keeps bottleneck
+  // selection bit-identical to fill_full()'s. fill_component() rebuilds the
+  // cache on entry, so fill_full() need not maintain it.
+  std::vector<double> link_share_;
+  std::vector<char> link_in_comp_;
+  std::vector<char> flow_fixed_;        // slot-indexed
+  std::vector<char> flow_in_comp_;      // slot-indexed
+  std::vector<std::uint32_t> comp_links_;
+  std::vector<std::uint32_t> cand_links_;
+  std::vector<std::uint32_t> comp_flows_;
+  std::vector<FlowId> sorted_active_;   // fill_full scratch
+
+  // Lazy min-heap of flow completion instants; stale entries are skipped by
+  // stamp comparison, so a rate change is O(log n) instead of an O(flows)
+  // rescan per event.
+  std::vector<EtaEntry> eta_heap_;
+  std::vector<std::uint64_t> eta_stamp_;  // slot-indexed
+  std::int64_t scheduled_eta_ns_ = -1;
+
   util::SimTime last_settle_ = util::SimTime::zero();
   sim::EventHandle completion_event_;
-  std::unordered_map<std::uint32_t, FlowCompleteFn> callbacks_;
   std::vector<FabricObserver*> observers_;
 
   std::uint64_t flows_started_ = 0;
   std::uint64_t flows_completed_ = 0;
   util::Bytes bytes_delivered_;
-  std::uint64_t recomputes_ = 0;
+  FabricCounters counters_;
 };
 
 }  // namespace pythia::net

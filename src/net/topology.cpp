@@ -133,4 +133,62 @@ Topology make_leaf_spine(const LeafSpineConfig& cfg) {
   return topo;
 }
 
+Topology make_fat_tree(const FatTreeConfig& cfg) {
+  assert(cfg.k >= 2 && cfg.k % 2 == 0 && "fat-tree arity must be even");
+  const std::size_t k = cfg.k;
+  const std::size_t half = k / 2;
+  const std::size_t hosts_per_edge =
+      cfg.hosts_per_edge == 0 ? half : cfg.hosts_per_edge;
+  Topology topo;
+
+  std::vector<NodeId> cores;
+  cores.reserve(half * half);
+  for (std::size_t c = 0; c < half * half; ++c) {
+    cores.push_back(topo.add_switch("core-" + std::to_string(c)));
+  }
+
+  std::size_t host_seq = 0;
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    std::vector<NodeId> edges;
+    std::vector<NodeId> aggs;
+    edges.reserve(half);
+    aggs.reserve(half);
+    for (std::size_t e = 0; e < half; ++e) {
+      const int rack = static_cast<int>(pod * half + e);
+      edges.push_back(topo.add_switch(
+          "edge-" + std::to_string(pod) + "-" + std::to_string(e), rack));
+    }
+    for (std::size_t a = 0; a < half; ++a) {
+      aggs.push_back(topo.add_switch("agg-" + std::to_string(pod) + "-" +
+                                     std::to_string(a)));
+    }
+    for (std::size_t e = 0; e < half; ++e) {
+      const int rack = static_cast<int>(pod * half + e);
+      for (std::size_t h = 0; h < hosts_per_edge; ++h) {
+        const NodeId host =
+            topo.add_host("server-" + std::to_string(host_seq++), rack);
+        topo.add_duplex(host, edges[e], cfg.host_link);
+      }
+      for (std::size_t a = 0; a < half; ++a) {
+        topo.add_duplex(edges[e], aggs[a], cfg.edge_agg);
+      }
+    }
+    for (std::size_t a = 0; a < half; ++a) {
+      for (std::size_t c = 0; c < half; ++c) {
+        topo.add_duplex(aggs[a], cores[a * half + c], cfg.agg_core);
+      }
+    }
+  }
+  return topo;
+}
+
+std::vector<NodeId> hosts_under(const Topology& topo, NodeId edge_switch) {
+  std::vector<NodeId> out;
+  for (LinkId l : topo.out_links(edge_switch)) {
+    const NodeId dst = topo.link(l).dst;
+    if (topo.node(dst).kind == NodeKind::kHost) out.push_back(dst);
+  }
+  return out;
+}
+
 }  // namespace pythia::net

@@ -96,4 +96,24 @@ struct LeafSpineConfig {
 };
 Topology make_leaf_spine(const LeafSpineConfig& cfg);
 
+/// Canonical k-ary fat-tree (Al-Fares et al.): k pods, each with k/2 edge
+/// (ToR) and k/2 aggregation switches wired as a complete bipartite graph,
+/// (k/2)² core switches, and aggregation switch `a` of every pod attached to
+/// cores [a·k/2, (a+1)·k/2). Each edge switch serves `hosts_per_edge` hosts
+/// (the canonical tree uses k/2; fewer keeps big-k sweeps tractable). Rack
+/// index = pod·(k/2) + edge position, so rack-granular aggregation works
+/// unchanged. `k` must be even and ≥ 2.
+struct FatTreeConfig {
+  std::size_t k = 4;
+  std::size_t hosts_per_edge = 0;  // 0 = canonical k/2
+  util::BitsPerSec host_link = util::BitsPerSec{10e9};
+  util::BitsPerSec edge_agg = util::BitsPerSec{10e9};
+  util::BitsPerSec agg_core = util::BitsPerSec{10e9};
+};
+Topology make_fat_tree(const FatTreeConfig& cfg);
+
+/// Hosts attached to `edge` (helper for benchmarks iterating a fat-tree).
+[[nodiscard]] std::vector<NodeId> hosts_under(const Topology& topo,
+                                              NodeId edge_switch);
+
 }  // namespace pythia::net

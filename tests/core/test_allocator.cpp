@@ -146,6 +146,29 @@ TEST(Allocator, LoadBlindModeIgnoresBackground) {
   EXPECT_EQ(rule->path.links, paths[0].links);
 }
 
+TEST(Allocator, RackModeSameRackPairFallsBackToServerInstall) {
+  // Regression: under rack-pair aggregation an intra-rack host→ToR→host path
+  // (2 links) used to strip to an empty inter-rack chain and install a bogus
+  // (rack, rack) wildcard rule. Same-rack pairs must install at server
+  // granularity instead.
+  Fixture f;
+  AllocatorConfig cfg;
+  cfg.aggregation = Aggregation::kRackPair;
+  Allocator alloc(f.controller, cfg);
+
+  alloc.add_predicted_volume(f.s0, f.s1, Bytes{1'000'000});  // same rack
+  f.sim.run();
+  EXPECT_EQ(f.controller.active_rack_chain(0, 0), nullptr);
+  const auto* rule = f.controller.active_rule(f.s0, f.s1);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->path.links.size(), 2u);  // host→ToR→host, nothing stripped
+
+  // Cross-rack pairs still aggregate to one rule per rack pair.
+  alloc.add_predicted_volume(f.s0, f.d0, Bytes{1'000'000});
+  f.sim.run();
+  EXPECT_NE(f.controller.active_rack_chain(0, 1), nullptr);
+}
+
 TEST(Allocator, DrainTimeMath) {
   Fixture f;
   Allocator alloc(f.controller);

@@ -106,6 +106,90 @@ TEST(Topology, ValidatePath) {
   EXPECT_FALSE(topo.validate_path(src, dst, {}));
 }
 
+TEST(Topology, FatTreeCanonicalShape) {
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  const Topology topo = make_fat_tree(cfg);
+  // k=4: 4 pods × (2 edge + 2 agg) + 4 cores = 20 switches, 16 hosts.
+  EXPECT_EQ(topo.hosts().size(), 16u);
+  EXPECT_EQ(topo.switches().size(), 20u);
+  // Directed links: 16 host + 16 edge-agg + 16 agg-core duplex pairs.
+  EXPECT_EQ(topo.link_count(), 2u * (16u + 16u + 16u));
+  // Racks are pod·(k/2)+edge, contiguous over hosts.
+  const auto hosts = topo.hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    EXPECT_EQ(topo.node(hosts[i]).rack, static_cast<int>(i / 2));
+  }
+}
+
+TEST(Topology, FatTreeK8Shape) {
+  FatTreeConfig cfg;
+  cfg.k = 8;
+  cfg.hosts_per_edge = 2;  // thinner than canonical k/2 = 4
+  const Topology topo = make_fat_tree(cfg);
+  // 8 pods × (4 edge + 4 agg) + 16 cores = 80 switches.
+  EXPECT_EQ(topo.switches().size(), 80u);
+  EXPECT_EQ(topo.hosts().size(), 8u * 4u * 2u);
+  // 64 host + 8 pods×16 edge-agg + 8 pods×16 agg-core duplex pairs.
+  EXPECT_EQ(topo.link_count(), 2u * (64u + 128u + 128u));
+}
+
+TEST(Topology, FatTreeUpDownPathValidates) {
+  const Topology topo = make_fat_tree({});
+  const auto hosts = topo.hosts();
+  const NodeId src = hosts.front();
+  const NodeId dst = hosts.back();  // different pod
+  // Walk up host→edge→agg→core, then down the same agg index in dst's pod.
+  const LinkId up0 = topo.out_links(src)[0];
+  const NodeId edge = topo.link(up0).dst;
+  NodeId agg;
+  LinkId up1{};
+  for (LinkId l : topo.out_links(edge)) {
+    const Node& n = topo.node(topo.link(l).dst);
+    if (n.kind == NodeKind::kSwitch && n.rack == -1) {
+      up1 = l;
+      agg = topo.link(l).dst;
+      break;
+    }
+  }
+  NodeId core;
+  LinkId up2{};
+  for (LinkId l : topo.out_links(agg)) {
+    const Node& n = topo.node(topo.link(l).dst);
+    if (n.kind == NodeKind::kSwitch && n.name.starts_with("core-")) {
+      up2 = l;
+      core = topo.link(l).dst;
+      break;
+    }
+  }
+  ASSERT_TRUE(up1.valid());
+  ASSERT_TRUE(up2.valid());
+  // From the core, find the agg in dst's pod, then the dst edge, then dst.
+  const NodeId dst_edge = topo.link(topo.out_links(dst)[0]).dst;
+  std::vector<LinkId> path;
+  for (LinkId l : topo.out_links(core)) {
+    const NodeId agg2 = topo.link(l).dst;
+    const auto down_edge = topo.find_link(agg2, dst_edge);
+    if (!down_edge) continue;
+    const auto last = topo.find_link(dst_edge, dst);
+    ASSERT_TRUE(last.has_value());
+    path = {up0, up1, up2, l, *down_edge, *last};
+    break;
+  }
+  ASSERT_EQ(path.size(), 6u);
+  EXPECT_TRUE(topo.validate_path(src, dst, path));
+}
+
+TEST(Topology, FatTreeHostsUnderEdge) {
+  const Topology topo = make_fat_tree({});
+  const auto hosts = topo.hosts();
+  const NodeId edge = topo.link(topo.out_links(hosts[0])[0]).dst;
+  const auto under = hosts_under(topo, edge);
+  ASSERT_EQ(under.size(), 2u);  // canonical k=4: k/2 hosts per edge
+  EXPECT_EQ(under[0], hosts[0]);
+  EXPECT_EQ(under[1], hosts[1]);
+}
+
 TEST(Topology, AddressEncodesRack) {
   const Topology topo = make_two_rack({});
   const auto hosts = topo.hosts();
