@@ -7,42 +7,59 @@
 // toward reactive scheduling. A second sweep varies the reducer skew to
 // show the motivation effect (Section II): the more skewed the shuffle, the
 // more a size-aware allocation matters — until a single hot reducer's NIC,
-// which no path choice can widen, dominates.
+// which no path choice can widen, dominates. All grid points fan out across
+// the ParallelRunner.
 #include <cstdio>
+#include <vector>
 
+#include "bench_cli.hpp"
+#include "experiments/parallel_runner.hpp"
 #include "experiments/sweep.hpp"
 #include "workloads/hibench.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pythia;
+  const auto args = benchcli::parse(argc, argv);
+  exp::ParallelRunner runner(args.threads);
 
   const auto job =
       workloads::sort_job(util::Bytes{60LL * 1000 * 1000 * 1000}, 20);
 
   std::printf("=== Ablation A3a: intent delivery delay vs speedup ===\n\n");
   {
+    const std::vector<std::uint64_t> seeds = {1, 2};
+    const std::vector<double> delays = {0.0, 1.0, 3.0, 10.0, 30.0};
     exp::ScenarioConfig base;
     base.background.oversubscription = 10.0;
-    base.scheduler = exp::SchedulerKind::kEcmp;
-    double ecmp_mean = 0.0;
-    for (const std::uint64_t seed : {1ULL, 2ULL}) {
-      exp::ScenarioConfig cfg = base;
-      cfg.seed = seed;
-      ecmp_mean += exp::run_completion_seconds(cfg, job) / 2.0;
-    }
 
-    util::Table table({"extra intent delay", "Pythia (s)", "speedup vs ECMP"});
-    for (const double delay_s : {0.0, 1.0, 3.0, 10.0, 30.0}) {
-      double mean = 0.0;
-      for (const std::uint64_t seed : {1ULL, 2ULL}) {
-        exp::ScenarioConfig cfg = base;
-        cfg.seed = seed;
+    // Canonical run list: ECMP baselines first, then delay-major Pythia runs.
+    const std::size_t n_runs = seeds.size() * (1 + delays.size());
+    const auto completions = runner.map<double>(n_runs, [&](std::size_t i) {
+      exp::ScenarioConfig cfg = base;
+      cfg.seed = seeds[i % seeds.size()];
+      const std::size_t group = i / seeds.size();
+      if (group == 0) {
+        cfg.scheduler = exp::SchedulerKind::kEcmp;
+      } else {
         cfg.scheduler = exp::SchedulerKind::kPythia;
         cfg.pythia.instrumentation.extra_delay =
-            util::Duration::from_seconds(delay_s);
-        mean += exp::run_completion_seconds(cfg, job) / 2.0;
+            util::Duration::from_seconds(delays[group - 1]);
       }
-      table.add_row({util::Table::seconds(delay_s, 0),
+      return exp::run_completion_seconds(cfg, job);
+    });
+
+    double ecmp_mean = 0.0;
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      ecmp_mean += completions[s] / static_cast<double>(seeds.size());
+    }
+    util::Table table({"extra intent delay", "Pythia (s)", "speedup vs ECMP"});
+    for (std::size_t d = 0; d < delays.size(); ++d) {
+      double mean = 0.0;
+      for (std::size_t s = 0; s < seeds.size(); ++s) {
+        mean += completions[(d + 1) * seeds.size() + s] /
+                static_cast<double>(seeds.size());
+      }
+      table.add_row({util::Table::seconds(delays[d], 0),
                      util::Table::num(mean, 1),
                      util::Table::percent(ecmp_mean / mean - 1.0)});
     }
@@ -51,24 +68,38 @@ int main() {
 
   std::printf("=== Ablation A3b: reducer skew vs speedup ===\n\n");
   {
+    const std::vector<double> skews = {0.0, 0.5, 1.0, 1.5};
+    struct SkewResult {
+      double ecmp_s = 0.0;
+      double pythia_s = 0.0;
+    };
+    const auto results = runner.map<SkewResult>(
+        skews.size(), [&](std::size_t i) {
+          const auto skew_job = workloads::sort_job(
+              util::Bytes{60LL * 1000 * 1000 * 1000}, 20, skews[i]);
+          exp::ScenarioConfig cfg;
+          cfg.seed = 4;
+          cfg.background.oversubscription = 10.0;
+          SkewResult r;
+          cfg.scheduler = exp::SchedulerKind::kEcmp;
+          r.ecmp_s = exp::run_completion_seconds(cfg, skew_job);
+          cfg.scheduler = exp::SchedulerKind::kPythia;
+          r.pythia_s = exp::run_completion_seconds(cfg, skew_job);
+          return r;
+        });
     util::Table table({"zipf s", "ECMP (s)", "Pythia (s)", "speedup"});
-    for (const double s : {0.0, 0.5, 1.0, 1.5}) {
-      auto skew_job = workloads::sort_job(
-          util::Bytes{60LL * 1000 * 1000 * 1000}, 20, s);
-      exp::ScenarioConfig cfg;
-      cfg.seed = 4;
-      cfg.background.oversubscription = 10.0;
-      cfg.scheduler = exp::SchedulerKind::kEcmp;
-      const double ecmp = exp::run_completion_seconds(cfg, skew_job);
-      cfg.scheduler = exp::SchedulerKind::kPythia;
-      const double pythia = exp::run_completion_seconds(cfg, skew_job);
-      table.add_row({util::Table::num(s, 1), util::Table::num(ecmp, 1),
-                     util::Table::num(pythia, 1),
-                     util::Table::percent(ecmp / pythia - 1.0)});
+    for (std::size_t i = 0; i < skews.size(); ++i) {
+      table.add_row({util::Table::num(skews[i], 1),
+                     util::Table::num(results[i].ecmp_s, 1),
+                     util::Table::num(results[i].pythia_s, 1),
+                     util::Table::percent(
+                         results[i].ecmp_s / results[i].pythia_s - 1.0)});
     }
     std::printf("%s\n", table.to_string().c_str());
   }
 
+  std::printf("[sweep] %s\n\n",
+              exp::runner_counters_summary(runner.counters()).c_str());
   std::printf(
       "expected shape: speedup is highest with timely intents and decays as "
       "delivery slips past fetch\nstart; skew shifts completion time up for "

@@ -10,11 +10,13 @@
 // and a static oracle as the no-adaptation reference.
 #include <cstdio>
 
+#include "bench_cli.hpp"
 #include "experiments/sweep.hpp"
 #include "workloads/hibench.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pythia;
+  const auto args = benchcli::parse(argc, argv);
 
   std::printf("=== Ablation A1: scheduler ladder at 1:10 ===\n\n");
 
@@ -29,8 +31,9 @@ int main() {
                           workloads::paper_nutch()}) {
     exp::ScenarioConfig base;
     base.background.oversubscription = 10.0;
-    const auto rows =
-        exp::run_scheduler_ladder(base, job, ladder, {1, 2, 3});
+    exp::RunnerCounters counters;
+    const auto rows = exp::run_scheduler_ladder(base, job, ladder, {1, 2, 3},
+                                                args.threads, &counters);
 
     const double ecmp_mean = rows.front().mean_s;
     util::Table table({"scheduler", "completion (s)", "stddev",
@@ -40,8 +43,9 @@ int main() {
                      util::Table::num(row.stddev_s, 1),
                      util::Table::percent(ecmp_mean / row.mean_s - 1.0)});
     }
-    std::printf("--- %s ---\n%s\n", job.name.c_str(),
-                table.to_string().c_str());
+    std::printf("--- %s ---\n%s[sweep] %s\n\n", job.name.c_str(),
+                table.to_string().c_str(),
+                exp::runner_counters_summary(counters).c_str());
   }
 
   std::printf(

@@ -5,67 +5,95 @@
 // fabrics. This bench sweeps (a) the number of parallel inter-rack cables in
 // the 2-rack testbed shape and (b) leaf-spine fabrics with growing spine
 // count, reporting ECMP vs Pythia at 1:10 with the paper's asymmetric
-// background profile.
+// background profile. The grid cells are independent simulations, so they
+// fan out across the ParallelRunner.
 #include <cstdio>
+#include <vector>
 
+#include "bench_cli.hpp"
+#include "experiments/parallel_runner.hpp"
 #include "experiments/sweep.hpp"
 #include "workloads/hibench.hpp"
 
 namespace {
 
-double run(pythia::exp::ScenarioConfig cfg, pythia::exp::SchedulerKind kind,
-           const pythia::hadoop::JobSpec& job) {
-  cfg.scheduler = kind;
-  return pythia::exp::run_completion_seconds(cfg, job);
+struct CellResult {
+  double ecmp_s = 0.0;
+  double pythia_s = 0.0;
+};
+
+/// Runs both arms of one grid cell (one task: the pool parallelizes cells).
+CellResult run_cell(pythia::exp::ScenarioConfig cfg,
+                    const pythia::hadoop::JobSpec& job) {
+  CellResult r;
+  cfg.scheduler = pythia::exp::SchedulerKind::kEcmp;
+  r.ecmp_s = pythia::exp::run_completion_seconds(cfg, job);
+  cfg.scheduler = pythia::exp::SchedulerKind::kPythia;
+  r.pythia_s = pythia::exp::run_completion_seconds(cfg, job);
+  return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pythia;
+  const auto args = benchcli::parse(argc, argv);
+  exp::ParallelRunner runner(args.threads);
 
   const auto job =
       workloads::sort_job(util::Bytes{60LL * 1000 * 1000 * 1000}, 20);
 
   std::printf("=== Ablation A2a: parallel inter-rack cables (2-rack) ===\n\n");
   {
+    const std::vector<std::size_t> cables = {2, 3, 4};
+    const auto results = runner.map<CellResult>(
+        cables.size(), [&](std::size_t i) {
+          exp::ScenarioConfig cfg;
+          cfg.seed = 9;
+          cfg.two_rack.inter_rack_links = cables[i];
+          cfg.controller.k_paths = cables[i];
+          cfg.background.oversubscription = 10.0;
+          cfg.background.path_intensity = {1.0, 0.1};  // one hot path
+          return run_cell(cfg, job);
+        });
     util::Table table({"cables", "ECMP (s)", "Pythia (s)", "speedup"});
-    for (const std::size_t cables : {2UL, 3UL, 4UL}) {
-      exp::ScenarioConfig cfg;
-      cfg.seed = 9;
-      cfg.two_rack.inter_rack_links = cables;
-      cfg.controller.k_paths = cables;
-      cfg.background.oversubscription = 10.0;
-      cfg.background.path_intensity = {1.0, 0.1};  // one hot path, rest cool
-      const double ecmp = run(cfg, exp::SchedulerKind::kEcmp, job);
-      const double pythia = run(cfg, exp::SchedulerKind::kPythia, job);
-      table.add_row({std::to_string(cables), util::Table::num(ecmp, 1),
-                     util::Table::num(pythia, 1),
-                     util::Table::percent(ecmp / pythia - 1.0)});
+    for (std::size_t i = 0; i < cables.size(); ++i) {
+      table.add_row({std::to_string(cables[i]),
+                     util::Table::num(results[i].ecmp_s, 1),
+                     util::Table::num(results[i].pythia_s, 1),
+                     util::Table::percent(
+                         results[i].ecmp_s / results[i].pythia_s - 1.0)});
     }
     std::printf("%s\n", table.to_string().c_str());
   }
 
   std::printf("=== Ablation A2b: leaf-spine fabrics ===\n\n");
   {
+    const std::vector<std::size_t> spines = {2, 4, 8};
+    const auto results = runner.map<CellResult>(
+        spines.size(), [&](std::size_t i) {
+          exp::ScenarioConfig cfg;
+          cfg.seed = 9;
+          cfg.topology_kind = exp::TopologyKind::kLeafSpine;
+          cfg.leaf_spine.spines = spines[i];
+          cfg.controller.k_paths = spines[i];
+          cfg.background.oversubscription = 10.0;
+          cfg.background.path_intensity = {1.0, 0.5, 0.15};
+          return run_cell(cfg, job);
+        });
     util::Table table({"spines", "ECMP (s)", "Pythia (s)", "speedup"});
-    for (const std::size_t spines : {2UL, 4UL, 8UL}) {
-      exp::ScenarioConfig cfg;
-      cfg.seed = 9;
-      cfg.topology_kind = exp::TopologyKind::kLeafSpine;
-      cfg.leaf_spine.spines = spines;
-      cfg.controller.k_paths = spines;
-      cfg.background.oversubscription = 10.0;
-      cfg.background.path_intensity = {1.0, 0.5, 0.15};
-      const double ecmp = run(cfg, exp::SchedulerKind::kEcmp, job);
-      const double pythia = run(cfg, exp::SchedulerKind::kPythia, job);
-      table.add_row({std::to_string(spines), util::Table::num(ecmp, 1),
-                     util::Table::num(pythia, 1),
-                     util::Table::percent(ecmp / pythia - 1.0)});
+    for (std::size_t i = 0; i < spines.size(); ++i) {
+      table.add_row({std::to_string(spines[i]),
+                     util::Table::num(results[i].ecmp_s, 1),
+                     util::Table::num(results[i].pythia_s, 1),
+                     util::Table::percent(
+                         results[i].ecmp_s / results[i].pythia_s - 1.0)});
     }
     std::printf("%s\n", table.to_string().c_str());
   }
 
+  std::printf("[sweep] %s\n\n",
+              exp::runner_counters_summary(runner.counters()).c_str());
   std::printf(
       "expected shape: Pythia's edge is largest when paths are few and "
       "asymmetric (one bad ECMP draw\nhurts); with many spines ECMP's law of "

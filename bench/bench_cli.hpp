@@ -1,0 +1,34 @@
+// Tiny shared flag parser for the bench binaries.
+//
+//   --threads N   worker threads for sweep fan-out (0 = all hardware cores)
+//   --smoke       reduced problem size for CI smoke runs
+//   --out FILE    machine-readable results (JSON) destination
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace pythia::benchcli {
+
+struct Args {
+  std::size_t threads = 0;  // 0 = one worker per hardware core
+  bool smoke = false;
+  std::string out;
+};
+
+inline Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      args.out = argv[++i];
+    }
+  }
+  return args;
+}
+
+}  // namespace pythia::benchcli

@@ -9,11 +9,13 @@
 // allocator keeps finding the lightly loaded path.
 #include <cstdio>
 
+#include "bench_cli.hpp"
 #include "experiments/sweep.hpp"
 #include "workloads/hibench.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pythia;
+  const auto args = benchcli::parse(argc, argv);
 
   std::printf("=== Figure 3: Nutch indexing, Pythia vs ECMP ===\n");
   std::printf("(5M pages / 8 GB input, 2 racks x 5 servers, 2 inter-rack "
@@ -21,12 +23,15 @@ int main() {
 
   exp::SweepConfig sweep;
   sweep.seeds = {1, 2, 3};
+  sweep.threads = args.threads;
   const auto job = workloads::paper_nutch();
+  exp::RunnerCounters counters;
   const auto rows = exp::run_oversubscription_sweep(
-      sweep, job, exp::paper_oversubscription_points());
+      sweep, job, exp::paper_oversubscription_points(), &counters);
 
   auto table = exp::speedup_table(rows, "ECMP", "Pythia");
   std::printf("%s", table.to_string().c_str());
+  std::printf("[sweep] %s\n", exp::runner_counters_summary(counters).c_str());
 
   double max_speedup = 0.0;
   for (const auto& row : rows) max_speedup = std::max(max_speedup, row.speedup());

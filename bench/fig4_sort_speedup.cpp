@@ -8,22 +8,27 @@
 // less packing opportunity).
 #include <cstdio>
 
+#include "bench_cli.hpp"
 #include "experiments/sweep.hpp"
 #include "workloads/hibench.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pythia;
+  const auto args = benchcli::parse(argc, argv);
 
   std::printf("=== Figure 4: Sort (240 GB), Pythia vs ECMP ===\n\n");
 
   exp::SweepConfig sweep;
   sweep.seeds = {1, 2, 3};
+  sweep.threads = args.threads;
   const auto job = workloads::paper_sort();
+  exp::RunnerCounters counters;
   const auto rows = exp::run_oversubscription_sweep(
-      sweep, job, exp::paper_oversubscription_points());
+      sweep, job, exp::paper_oversubscription_points(), &counters);
 
   auto table = exp::speedup_table(rows, "ECMP", "Pythia");
   std::printf("%s", table.to_string().c_str());
+  std::printf("[sweep] %s\n", exp::runner_counters_summary(counters).c_str());
 
   double max_speedup = 0.0;
   for (const auto& row : rows) {

@@ -9,7 +9,10 @@
 // reducer slow-start threshold, and report the prediction lead observed by
 // the Fig. 5 methodology plus the resulting Pythia speedup.
 #include <cstdio>
+#include <vector>
 
+#include "bench_cli.hpp"
+#include "experiments/parallel_runner.hpp"
 #include "experiments/scenario.hpp"
 #include "experiments/sweep.hpp"
 #include "net/netflow.hpp"
@@ -18,9 +21,14 @@
 
 namespace {
 
+struct CellResult {
+  double min_lead_s = 0.0;
+  double speedup = 0.0;
+};
+
 /// Runs one Pythia job with NetFlow attached; returns (min lead s, speedup).
-std::pair<double, double> measure(pythia::exp::ScenarioConfig cfg,
-                                  const pythia::hadoop::JobSpec& job) {
+CellResult measure(pythia::exp::ScenarioConfig cfg,
+                   const pythia::hadoop::JobSpec& job) {
   using namespace pythia;
   cfg.scheduler = exp::SchedulerKind::kEcmp;
   const double ecmp = exp::run_completion_seconds(cfg, job);
@@ -50,13 +58,18 @@ std::pair<double, double> measure(pythia::exp::ScenarioConfig cfg,
       }
     }
   }
-  return {lead.count() > 0 ? lead.min() : 0.0, ecmp / pythia_s - 1.0};
+  CellResult r;
+  r.min_lead_s = lead.count() > 0 ? lead.min() : 0.0;
+  r.speedup = ecmp / pythia_s - 1.0;
+  return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pythia;
+  const auto args = benchcli::parse(argc, argv);
+  exp::ParallelRunner runner(args.threads);
 
   const auto job =
       workloads::sort_job(util::Bytes{60LL * 1000 * 1000 * 1000}, 20);
@@ -67,34 +80,46 @@ int main() {
 
   std::printf("--- mapred.reduce.parallel.copies ---\n");
   {
+    const std::vector<std::size_t> copies = {2, 5, 10, 20};
+    const auto results = runner.map<CellResult>(
+        copies.size(), [&](std::size_t i) {
+          exp::ScenarioConfig cfg;
+          cfg.seed = 8;
+          cfg.background.oversubscription = 10.0;
+          cfg.cluster.parallel_copies = copies[i];
+          return measure(cfg, job);
+        });
     util::Table table({"parallel copies", "min lead (s)", "speedup"});
-    for (const std::size_t copies : {2UL, 5UL, 10UL, 20UL}) {
-      exp::ScenarioConfig cfg;
-      cfg.seed = 8;
-      cfg.background.oversubscription = 10.0;
-      cfg.cluster.parallel_copies = copies;
-      const auto [lead, speedup] = measure(cfg, job);
-      table.add_row({std::to_string(copies), util::Table::num(lead, 1),
-                     util::Table::percent(speedup)});
+    for (std::size_t i = 0; i < copies.size(); ++i) {
+      table.add_row({std::to_string(copies[i]),
+                     util::Table::num(results[i].min_lead_s, 1),
+                     util::Table::percent(results[i].speedup)});
     }
     std::printf("%s\n", table.to_string().c_str());
   }
 
   std::printf("--- reducer slow-start threshold ---\n");
   {
+    const std::vector<double> slowstarts = {0.05, 0.25, 0.5, 0.9};
+    const auto results = runner.map<CellResult>(
+        slowstarts.size(), [&](std::size_t i) {
+          exp::ScenarioConfig cfg;
+          cfg.seed = 8;
+          cfg.background.oversubscription = 10.0;
+          cfg.cluster.reduce_slowstart = slowstarts[i];
+          return measure(cfg, job);
+        });
     util::Table table({"slowstart", "min lead (s)", "speedup"});
-    for (const double slowstart : {0.05, 0.25, 0.5, 0.9}) {
-      exp::ScenarioConfig cfg;
-      cfg.seed = 8;
-      cfg.background.oversubscription = 10.0;
-      cfg.cluster.reduce_slowstart = slowstart;
-      const auto [lead, speedup] = measure(cfg, job);
-      table.add_row({util::Table::num(slowstart, 2),
-                     util::Table::num(lead, 1),
-                     util::Table::percent(speedup)});
+    for (std::size_t i = 0; i < slowstarts.size(); ++i) {
+      table.add_row({util::Table::num(slowstarts[i], 2),
+                     util::Table::num(results[i].min_lead_s, 1),
+                     util::Table::percent(results[i].speedup)});
     }
     std::printf("%s\n", table.to_string().c_str());
   }
+
+  std::printf("[sweep] %s\n\n",
+              exp::runner_counters_summary(runner.counters()).c_str());
 
   std::printf(
       "expected shape (the paper's conjecture): the prediction lead stays "

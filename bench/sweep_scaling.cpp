@@ -1,0 +1,117 @@
+// Sweep-engine scaling bench: wall-time of the Fig. 3 over-subscription
+// sweep at 1, 2, and 8 worker threads, plus the determinism check that is
+// the engine's core contract — the result rows and their CSV serialization
+// must be byte-identical at every thread count.
+//
+//   ./build/bench/sweep_scaling [--smoke] [--out BENCH_sweep.json]
+//
+// Smoke mode shrinks the job so the three sweeps finish in seconds; the
+// speedup numbers are only meaningful on a machine with that many free
+// cores, so the JSON records hardware_concurrency alongside.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_cli.hpp"
+#include "experiments/sweep.hpp"
+#include "util/table.hpp"
+#include "workloads/hibench.hpp"
+
+namespace {
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pythia;
+  const auto args = benchcli::parse(argc, argv);
+
+  std::printf("=== Sweep engine scaling: Fig. 3 sweep at 1/2/8 threads ===\n");
+
+  exp::SweepConfig sweep;
+  std::vector<exp::OversubPoint> points;
+  hadoop::JobSpec job;
+  if (args.smoke) {
+    job = workloads::sort_job(util::Bytes{4LL * 1000 * 1000 * 1000}, 8);
+    sweep.seeds = {1, 2};
+    points = {{"none", 1.0}, {"1:5", 5.0}, {"1:20", 20.0}};
+    std::printf("(smoke: 4 GB sort, 3 points x 2 schedulers x 2 seeds)\n\n");
+  } else {
+    job = workloads::paper_nutch();
+    sweep.seeds = {1, 2, 3};
+    points = exp::paper_oversubscription_points();
+    std::printf("(full: paper Nutch, 5 points x 2 schedulers x 3 seeds)\n\n");
+  }
+  const std::size_t total_runs = points.size() * 2 * sweep.seeds.size();
+
+  const std::vector<std::size_t> thread_counts = {1, 2, 8};
+  std::vector<double> walls;
+  std::vector<double> utilizations;
+  std::string reference_csv;
+  bool bit_identical = true;
+
+  util::Table table({"threads", "wall (s)", "speedup vs 1T", "utilization",
+                     "rows identical"});
+  for (const std::size_t threads : thread_counts) {
+    exp::SweepConfig cfg = sweep;
+    cfg.threads = threads;
+    exp::RunnerCounters counters;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto rows =
+        exp::run_oversubscription_sweep(cfg, job, points, &counters);
+    const double wall = wall_seconds_since(t0);
+    walls.push_back(wall);
+    utilizations.push_back(counters.utilization());
+
+    const std::string csv = exp::speedup_rows_csv(rows);
+    if (reference_csv.empty()) {
+      reference_csv = csv;
+    } else if (csv != reference_csv) {
+      bit_identical = false;
+    }
+    table.add_row({std::to_string(threads), util::Table::num(wall, 2),
+                   util::Table::num(walls.front() / wall, 2) + "x",
+                   util::Table::percent(counters.utilization()),
+                   csv == reference_csv ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double speedup8 = walls.front() / walls.back();
+  std::printf("hardware cores: %u; 8-thread speedup %.2fx; result rows %s "
+              "across thread counts.\n",
+              hw, speedup8,
+              bit_identical ? "bit-identical" : "DIVERGED (bug!)");
+
+  if (!args.out.empty()) {
+    std::ofstream out(args.out);
+    out << "{\n"
+        << "  \"bench\": \"sweep_scaling\",\n"
+        << "  \"mode\": \"" << (args.smoke ? "smoke" : "full") << "\",\n"
+        << "  \"runs_per_sweep\": " << total_runs << ",\n"
+        << "  \"hardware_concurrency\": " << hw << ",\n"
+        << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+        << ",\n  \"threads\": {\n";
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "    \"%zu\": {\"wall_s\": %.4f, \"utilization\": %.4f}%s\n",
+                    thread_counts[i], walls[i], utilizations[i],
+                    i + 1 < thread_counts.size() ? "," : "");
+      out << buf;
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "  },\n  \"speedup_8_vs_1\": %.4f\n}\n", speedup8);
+    out << buf;
+    std::printf("(results written to %s)\n", args.out.c_str());
+  }
+  return bit_identical ? 0 : 1;
+}

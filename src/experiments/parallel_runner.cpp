@@ -1,0 +1,44 @@
+#include "experiments/parallel_runner.hpp"
+
+#include <chrono>
+
+namespace pythia::exp {
+
+namespace {
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+ParallelRunner::ParallelRunner(std::size_t threads)
+    : pool_(std::make_unique<util::ThreadPool>(threads)) {}
+
+ParallelRunner::~ParallelRunner() = default;
+
+std::size_t ParallelRunner::thread_count() const {
+  return pool_->thread_count();
+}
+
+std::uint64_t ParallelRunner::runs_completed() const {
+  return pool_->tasks_completed();
+}
+
+RunnerCounters ParallelRunner::counters() const {
+  RunnerCounters c;
+  c.threads = pool_->thread_count();
+  c.runs_completed = pool_->tasks_completed();
+  c.wall_seconds = wall_seconds_;
+  c.busy_seconds = pool_->busy_seconds();
+  return c;
+}
+
+std::uint64_t ParallelRunner::begin_batch() { return steady_ns(); }
+
+void ParallelRunner::end_batch(std::uint64_t t0_ns) {
+  wall_seconds_ += static_cast<double>(steady_ns() - t0_ns) / 1e9;
+}
+
+}  // namespace pythia::exp

@@ -1,0 +1,94 @@
+// Parallel deterministic run fan-out.
+//
+// ParallelRunner executes N independent simulation runs across a thread pool
+// and gathers the results in canonical index order. The determinism contract:
+//
+//   For a fixed task function, map(n, fn) returns a bit-for-bit identical
+//   vector for ANY thread count, including 1.
+//
+// The contract holds because (a) every task builds its entire simulation
+// universe — Simulation, Fabric, RNG streams — from its index (and seeds
+// derived via util::split_seed / the run's ScenarioConfig), sharing no
+// mutable state with other tasks, and (b) results are written to
+// pre-allocated index slots and read only after wait_idle(), so scheduling
+// order never leaks into the output. Anything order- or time-dependent
+// (progress, wall-clock, utilization) is reported separately via
+// RunnerCounters and excluded from result payloads.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace pythia::exp {
+
+/// Progress/timing counters for a runner's lifetime; surfaced through the
+/// bench table/CSV output. Non-deterministic by nature (wall time), so never
+/// part of result rows.
+struct RunnerCounters {
+  std::size_t threads = 1;
+  std::uint64_t runs_completed = 0;
+  double wall_seconds = 0.0;  // summed over map() calls
+  double busy_seconds = 0.0;  // summed worker in-task time
+
+  /// Fraction of worker capacity spent inside runs (1.0 = perfectly packed).
+  [[nodiscard]] double utilization() const {
+    const double capacity = wall_seconds * static_cast<double>(threads);
+    return capacity > 0.0 ? busy_seconds / capacity : 0.0;
+  }
+};
+
+class ParallelRunner {
+ public:
+  /// `threads == 0` uses one worker per hardware core.
+  explicit ParallelRunner(std::size_t threads = 0);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  /// Runs fn(0..n-1) across the pool; returns results in index order.
+  /// Blocks until every run finishes. If any run throws, the first exception
+  /// in index order is rethrown after the batch drains.
+  template <typename T>
+  std::vector<T> map(std::size_t n, const std::function<T(std::size_t)>& fn) {
+    std::vector<T> results(n);
+    std::vector<std::exception_ptr> errors(n);
+    const auto t0 = begin_batch();
+    for (std::size_t i = 0; i < n; ++i) {
+      pool().submit([&, i] {
+        try {
+          results[i] = fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool().wait_idle();
+    end_batch(t0);
+    for (auto& err : errors) {
+      if (err) std::rethrow_exception(err);
+    }
+    return results;
+  }
+
+  [[nodiscard]] std::size_t thread_count() const;
+  /// Runs finished so far; safe to poll from another thread mid-batch.
+  [[nodiscard]] std::uint64_t runs_completed() const;
+  /// Lifetime counters (threads, runs, wall/busy seconds, utilization).
+  [[nodiscard]] RunnerCounters counters() const;
+
+ private:
+  [[nodiscard]] util::ThreadPool& pool() { return *pool_; }
+  [[nodiscard]] std::uint64_t begin_batch();  // returns steady-clock ns
+  void end_batch(std::uint64_t t0_ns);
+
+  std::unique_ptr<util::ThreadPool> pool_;
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace pythia::exp

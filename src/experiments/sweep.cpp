@@ -1,5 +1,9 @@
 #include "experiments/sweep.hpp"
 
+#include <charconv>
+#include <cstdio>
+
+#include "util/csv.hpp"
 #include "util/stats.hpp"
 
 namespace pythia::exp {
@@ -15,33 +19,64 @@ double run_completion_seconds(const ScenarioConfig& cfg,
   return scenario.run_job(job).completion_time().seconds();
 }
 
+namespace {
+
+/// Shortest representation that round-trips the exact double — byte-stable
+/// across runs and thread counts, locale-independent.
+std::string exact_double(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
 std::vector<SpeedupRow> run_oversubscription_sweep(
     const SweepConfig& sweep, const hadoop::JobSpec& job,
-    const std::vector<OversubPoint>& points) {
+    const std::vector<OversubPoint>& points, ParallelRunner& runner) {
+  // Canonical run order: point-major, then arm (baseline first), then seed.
+  // Every run derives its whole universe from its (point, arm, seed) cell,
+  // so the gathered vector is independent of worker scheduling.
+  const std::size_t seeds = sweep.seeds.size();
+  const std::size_t runs_per_point = 2 * seeds;
+  const auto completions = runner.map<double>(
+      points.size() * runs_per_point, [&](std::size_t i) {
+        const std::size_t point_idx = i / runs_per_point;
+        const std::size_t arm = (i % runs_per_point) / seeds;
+        const std::size_t seed_idx = i % seeds;
+        ScenarioConfig cfg = sweep.base;
+        cfg.seed = sweep.seeds[seed_idx];
+        cfg.background.oversubscription = points[point_idx].ratio;
+        cfg.scheduler = arm == 0 ? sweep.baseline : sweep.treatment;
+        return run_completion_seconds(cfg, job);
+      });
+
   std::vector<SpeedupRow> rows;
   rows.reserve(points.size());
-  for (const auto& point : points) {
+  for (std::size_t p = 0; p < points.size(); ++p) {
     util::RunningStats base_stats;
     util::RunningStats treat_stats;
-    for (std::uint64_t seed : sweep.seeds) {
-      ScenarioConfig cfg = sweep.base;
-      cfg.seed = seed;
-      cfg.background.oversubscription = point.ratio;
-
-      cfg.scheduler = sweep.baseline;
-      base_stats.add(run_completion_seconds(cfg, job));
-
-      cfg.scheduler = sweep.treatment;
-      treat_stats.add(run_completion_seconds(cfg, job));
+    for (std::size_t s = 0; s < seeds; ++s) {
+      base_stats.add(completions[p * runs_per_point + s]);
+      treat_stats.add(completions[p * runs_per_point + seeds + s]);
     }
     SpeedupRow row;
-    row.label = point.label;
+    row.label = points[p].label;
     row.baseline_mean_s = base_stats.mean();
     row.baseline_stddev_s = base_stats.stddev();
     row.treatment_mean_s = treat_stats.mean();
     row.treatment_stddev_s = treat_stats.stddev();
     rows.push_back(row);
   }
+  return rows;
+}
+
+std::vector<SpeedupRow> run_oversubscription_sweep(
+    const SweepConfig& sweep, const hadoop::JobSpec& job,
+    const std::vector<OversubPoint>& points, RunnerCounters* counters) {
+  ParallelRunner runner(sweep.threads);
+  auto rows = run_oversubscription_sweep(sweep, job, points, runner);
+  if (counters != nullptr) *counters = runner.counters();
   return rows;
 }
 
@@ -58,23 +93,64 @@ util::Table speedup_table(const std::vector<SpeedupRow>& rows,
   return table;
 }
 
+std::string speedup_rows_csv(const std::vector<SpeedupRow>& rows) {
+  std::string out =
+      "oversubscription,baseline_mean_s,baseline_stddev_s,"
+      "treatment_mean_s,treatment_stddev_s,speedup\n";
+  for (const auto& row : rows) {
+    out += util::CsvWriter::escape(row.label);
+    out += ',';
+    out += exact_double(row.baseline_mean_s);
+    out += ',';
+    out += exact_double(row.baseline_stddev_s);
+    out += ',';
+    out += exact_double(row.treatment_mean_s);
+    out += ',';
+    out += exact_double(row.treatment_stddev_s);
+    out += ',';
+    out += exact_double(row.speedup());
+    out += '\n';
+  }
+  return out;
+}
+
+std::string runner_counters_summary(const RunnerCounters& c) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%llu runs in %.2f s wall on %zu thread%s (worker "
+                "utilization %.0f%%)",
+                static_cast<unsigned long long>(c.runs_completed),
+                c.wall_seconds, c.threads, c.threads == 1 ? "" : "s",
+                c.utilization() * 100.0);
+  return buf;
+}
+
 std::vector<LadderRow> run_scheduler_ladder(
     const ScenarioConfig& base, const hadoop::JobSpec& job,
     const std::vector<SchedulerKind>& schedulers,
-    const std::vector<std::uint64_t>& seeds) {
+    const std::vector<std::uint64_t>& seeds, std::size_t threads,
+    RunnerCounters* counters) {
+  ParallelRunner runner(threads);
+  const std::size_t per_sched = seeds.size();
+  const auto completions = runner.map<double>(
+      schedulers.size() * per_sched, [&](std::size_t i) {
+        ScenarioConfig cfg = base;
+        cfg.seed = seeds[i % per_sched];
+        cfg.scheduler = schedulers[i / per_sched];
+        return run_completion_seconds(cfg, job);
+      });
+
   std::vector<LadderRow> rows;
   rows.reserve(schedulers.size());
-  for (SchedulerKind kind : schedulers) {
+  for (std::size_t k = 0; k < schedulers.size(); ++k) {
     util::RunningStats stats;
-    for (std::uint64_t seed : seeds) {
-      ScenarioConfig cfg = base;
-      cfg.seed = seed;
-      cfg.scheduler = kind;
-      stats.add(run_completion_seconds(cfg, job));
+    for (std::size_t s = 0; s < per_sched; ++s) {
+      stats.add(completions[k * per_sched + s]);
     }
-    rows.push_back(LadderRow{scheduler_name(kind), stats.mean(),
+    rows.push_back(LadderRow{scheduler_name(schedulers[k]), stats.mean(),
                              stats.stddev()});
   }
+  if (counters != nullptr) *counters = runner.counters();
   return rows;
 }
 

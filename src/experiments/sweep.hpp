@@ -1,11 +1,17 @@
 // Parameter-sweep harness for the paper's evaluation figures: job completion
 // time vs. network over-subscription ratio, baseline vs. treatment, averaged
 // over seeds ("average of multiple executions" in the paper).
+//
+// Sweeps fan their independent (point × scheduler × seed) runs out across a
+// ParallelRunner; results are gathered in canonical order, so the returned
+// rows — and their CSV serialization — are bit-for-bit identical for any
+// thread count, including 1. See parallel_runner.hpp for the contract.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "experiments/parallel_runner.hpp"
 #include "experiments/scenario.hpp"
 #include "hadoop/config.hpp"
 #include "util/table.hpp"
@@ -45,18 +51,38 @@ struct SweepConfig {
   std::vector<std::uint64_t> seeds{1, 2, 3};
   SchedulerKind baseline = SchedulerKind::kEcmp;
   SchedulerKind treatment = SchedulerKind::kPythia;
+  /// Worker threads for the run fan-out; 0 = one per hardware core. Results
+  /// are identical for every value — this only trades wall time.
+  std::size_t threads = 0;
 };
 
 /// Fig. 3 / Fig. 4 style sweep: for every over-subscription point, run the
-/// job under both schedulers across all seeds.
+/// job under both schedulers across all seeds. Runs execute in parallel on
+/// `sweep.threads` workers; pass `counters` to receive progress/timing
+/// (runs completed, wall seconds, worker utilization).
 [[nodiscard]] std::vector<SpeedupRow> run_oversubscription_sweep(
     const SweepConfig& sweep, const hadoop::JobSpec& job,
-    const std::vector<OversubPoint>& points);
+    const std::vector<OversubPoint>& points,
+    RunnerCounters* counters = nullptr);
+
+/// Same, on a caller-owned runner (reuse one pool across several sweeps).
+[[nodiscard]] std::vector<SpeedupRow> run_oversubscription_sweep(
+    const SweepConfig& sweep, const hadoop::JobSpec& job,
+    const std::vector<OversubPoint>& points, ParallelRunner& runner);
 
 /// Paper-style output table for a sweep.
 [[nodiscard]] util::Table speedup_table(const std::vector<SpeedupRow>& rows,
                                         const std::string& baseline_name,
                                         const std::string& treatment_name);
+
+/// Deterministic CSV serialization of sweep rows (shortest round-trip
+/// precision). This is the byte-level artifact the determinism tests diff
+/// across thread counts; timing counters are deliberately excluded.
+[[nodiscard]] std::string speedup_rows_csv(const std::vector<SpeedupRow>& rows);
+
+/// Progress/timing footer for bench table output ("N runs, X s wall on
+/// T threads, U% utilization").
+[[nodiscard]] std::string runner_counters_summary(const RunnerCounters& c);
 
 /// Multi-scheduler comparison at one operating point (ablation A1).
 struct LadderRow {
@@ -67,6 +93,7 @@ struct LadderRow {
 [[nodiscard]] std::vector<LadderRow> run_scheduler_ladder(
     const ScenarioConfig& base, const hadoop::JobSpec& job,
     const std::vector<SchedulerKind>& schedulers,
-    const std::vector<std::uint64_t>& seeds);
+    const std::vector<std::uint64_t>& seeds, std::size_t threads = 0,
+    RunnerCounters* counters = nullptr);
 
 }  // namespace pythia::exp

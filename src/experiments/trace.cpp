@@ -1,0 +1,120 @@
+#include "experiments/trace.hpp"
+
+#include <utility>
+
+#include "core/pythia_system.hpp"
+#include "experiments/scenario.hpp"
+#include "sdn/controller.hpp"
+
+namespace pythia::exp {
+
+namespace {
+std::string ns_str(util::SimTime t) { return std::to_string(t.ns()); }
+}  // namespace
+
+EventTraceRecorder::EventTraceRecorder(Scenario& scenario)
+    : scenario_(&scenario) {
+  scenario.fabric().add_observer(this);
+  scenario.engine().add_observer(this);
+}
+
+std::string EventTraceRecorder::text() const {
+  std::string out;
+  for (const auto& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void EventTraceRecorder::add(util::SimTime at, std::string line) {
+  poll_control_plane(at);
+  lines_.push_back(std::move(line));
+}
+
+void EventTraceRecorder::poll_control_plane(util::SimTime at) {
+  const std::uint64_t installed = scenario_->controller().rules_installed();
+  if (installed != seen_rules_installed_) {
+    lines_.push_back("t=" + ns_str(at) + " rules_installed=" +
+                     std::to_string(installed));
+    seen_rules_installed_ = installed;
+  }
+  core::PythiaSystem* pythia = scenario_->pythia();
+  if (pythia != nullptr) {
+    const bool engaged = pythia->watchdog().engaged();
+    if (engaged != seen_engaged_) {
+      lines_.push_back("t=" + ns_str(at) + " watchdog " +
+                       (engaged ? "reengaged" : "fallback"));
+      seen_engaged_ = engaged;
+    }
+  }
+}
+
+void EventTraceRecorder::on_flow_started(const net::Fabric& fabric,
+                                         net::FlowId flow, util::SimTime at) {
+  const net::Flow& f = fabric.flow(flow);
+  add(at, "t=" + ns_str(at) + " flow_start id=" +
+              std::to_string(flow.value()) + " src=" +
+              std::to_string(f.spec.src.value()) + " dst=" +
+              std::to_string(f.spec.dst.value()) + " size=" +
+              std::to_string(f.spec.size.count()));
+}
+
+void EventTraceRecorder::on_flow_completed(const net::Fabric& /*fabric*/,
+                                           net::FlowId flow,
+                                           util::SimTime at) {
+  add(at,
+      "t=" + ns_str(at) + " flow_end id=" + std::to_string(flow.value()));
+}
+
+void EventTraceRecorder::on_map_output_ready(
+    const hadoop::MapOutputNotice& notice) {
+  add(notice.at, "t=" + ns_str(notice.at) + " map_output job=" +
+                     std::to_string(notice.job_serial) + " map=" +
+                     std::to_string(notice.map_index) + " server=" +
+                     std::to_string(notice.server.value()));
+}
+
+void EventTraceRecorder::on_reducer_started(std::size_t job_serial,
+                                            std::size_t reduce_index,
+                                            net::NodeId server,
+                                            util::SimTime at) {
+  add(at, "t=" + ns_str(at) + " reducer_start job=" +
+              std::to_string(job_serial) + " reducer=" +
+              std::to_string(reduce_index) + " server=" +
+              std::to_string(server.value()));
+}
+
+void EventTraceRecorder::on_fetch_started(std::size_t job_serial,
+                                          const hadoop::FetchRecord& fetch,
+                                          net::FlowId flow) {
+  add(fetch.started,
+      "t=" + ns_str(fetch.started) + " fetch_start job=" +
+          std::to_string(job_serial) + " map=" +
+          std::to_string(fetch.map_index) + " reducer=" +
+          std::to_string(fetch.reduce_index) + " bytes=" +
+          std::to_string(fetch.payload.count()) +
+          (fetch.remote ? " flow=" + std::to_string(flow.value()) : " local"));
+}
+
+void EventTraceRecorder::on_fetch_completed(std::size_t job_serial,
+                                            const hadoop::FetchRecord& fetch) {
+  add(fetch.completed,
+      "t=" + ns_str(fetch.completed) + " fetch_end job=" +
+          std::to_string(job_serial) + " map=" +
+          std::to_string(fetch.map_index) + " reducer=" +
+          std::to_string(fetch.reduce_index));
+}
+
+void EventTraceRecorder::on_job_completed(std::size_t job_serial,
+                                          const hadoop::JobResult& result) {
+  add(result.completed,
+      "t=" + ns_str(result.completed) + " job_done job=" +
+          std::to_string(job_serial) + " completion_ns=" +
+          std::to_string(result.completion_time().ns()) + " maps=" +
+          std::to_string(result.maps.size()) + " reducers=" +
+          std::to_string(result.reducers.size()) + " fetches=" +
+          std::to_string(result.fetches.size()));
+}
+
+}  // namespace pythia::exp

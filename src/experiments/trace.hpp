@@ -1,0 +1,66 @@
+// Deterministic event-trace recording for golden-file regression tests.
+//
+// EventTraceRecorder attaches to a Scenario's fabric and engine observers and
+// serializes every interesting event — flow starts/completions, map outputs,
+// reducer starts, fetch lifecycle, control-plane rule installs, watchdog
+// fallback/re-engagement transitions — as one text line each. Times are the
+// simulator's integer nanoseconds and sizes integer bytes, so the trace is
+// bit-reproducible across platforms and engine refactors that preserve
+// behavior produce byte-identical traces (the golden-trace test's contract).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hadoop/engine.hpp"
+#include "net/fabric.hpp"
+
+namespace pythia::exp {
+
+class Scenario;
+
+class EventTraceRecorder : public net::FabricObserver,
+                           public hadoop::EngineObserver {
+ public:
+  /// Attaches to the scenario's fabric and engine. The recorder must outlive
+  /// every run_job() call it observes.
+  explicit EventTraceRecorder(Scenario& scenario);
+
+  [[nodiscard]] const std::vector<std::string>& lines() const {
+    return lines_;
+  }
+  /// The full trace, one event per line, trailing newline included.
+  [[nodiscard]] std::string text() const;
+
+  // FabricObserver
+  void on_flow_started(const net::Fabric& fabric, net::FlowId flow,
+                       util::SimTime at) override;
+  void on_flow_completed(const net::Fabric& fabric, net::FlowId flow,
+                         util::SimTime at) override;
+
+  // EngineObserver
+  void on_map_output_ready(const hadoop::MapOutputNotice& notice) override;
+  void on_reducer_started(std::size_t job_serial, std::size_t reduce_index,
+                          net::NodeId server, util::SimTime at) override;
+  void on_fetch_started(std::size_t job_serial,
+                        const hadoop::FetchRecord& fetch,
+                        net::FlowId flow) override;
+  void on_fetch_completed(std::size_t job_serial,
+                          const hadoop::FetchRecord& fetch) override;
+  void on_job_completed(std::size_t job_serial,
+                        const hadoop::JobResult& result) override;
+
+ private:
+  /// Emits rule-install deltas and watchdog transitions that happened since
+  /// the previous event, stamping them with the current event's time.
+  void poll_control_plane(util::SimTime at);
+  void add(util::SimTime at, std::string line);
+
+  Scenario* scenario_;
+  std::vector<std::string> lines_;
+  std::uint64_t seen_rules_installed_ = 0;
+  bool seen_engaged_ = true;
+};
+
+}  // namespace pythia::exp

@@ -1,7 +1,9 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <iomanip>
+#include <mutex>
 #include <sstream>
 
 #include "util/time.hpp"
@@ -10,7 +12,14 @@
 namespace pythia::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// Serializes emission so lines from concurrent sweep workers never
+/// interleave mid-line (stdio locks per call, but future sinks may not).
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,13 +38,16 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& component,
               const std::string& message) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(sink_mutex());
   std::fprintf(stderr, "%s [%s] %s\n", level_name(level), component.c_str(),
                message.c_str());
 }

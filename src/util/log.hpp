@@ -1,8 +1,11 @@
 // Lightweight leveled logging.
 //
-// The simulator is single-threaded by design (discrete-event), so the logger
-// keeps no locks; it exists to make traces greppable ("[shuffle] t=12.4s ...")
-// and is compiled to almost nothing at the default Warn level.
+// Each simulation is single-threaded (discrete-event), but the parallel
+// sweep runner executes many simulations concurrently, so the logger is
+// thread-safe: the level is an atomic and emission holds a mutex so lines
+// from different workers never interleave. It exists to make traces
+// greppable ("[shuffle] t=12.4s ...") and is compiled to almost nothing at
+// the default Warn level.
 #pragma once
 
 #include <sstream>
@@ -12,7 +15,9 @@ namespace pythia::util {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
 
-/// Global log threshold; messages below it are discarded.
+/// Global log threshold; messages below it are discarded. Safe to call from
+/// any thread (atomic; a level change may race in-flight messages but never
+/// corrupts output).
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 

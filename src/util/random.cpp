@@ -80,6 +80,16 @@ std::uint64_t derive_seed(std::uint64_t root, std::uint64_t tag) {
   return sm.next();
 }
 
+std::uint64_t split_seed(std::uint64_t root, std::uint64_t lane) {
+  // Domain-separate from derive_seed with a distinct additive constant, then
+  // run two SplitMix64 rounds so adjacent lanes land in unrelated states.
+  SplitMix64 sm(root + 0x632be59bd9b4e019ULL);
+  const std::uint64_t mixed_root = sm.next();
+  SplitMix64 lane_mix(mixed_root ^ (lane * 0xd1342543de82ef95ULL + 1));
+  lane_mix.next();
+  return lane_mix.next();
+}
+
 std::uint64_t hash_bytes(const void* data, std::size_t len) {
   const auto* p = static_cast<const unsigned char*>(data);
   std::uint64_t h = 0xcbf29ce484222325ULL;

@@ -102,6 +102,14 @@ class ZipfSampler {
 /// runs, unrelated streams for different tags.
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t root, std::uint64_t tag);
 
+/// Splits a root seed into the `lane`-th of a family of independent run
+/// seeds. Used by the parallel sweep runner to give every fanned-out run its
+/// own RNG universe: the derivation depends only on (root, lane), never on
+/// which worker thread executes the run or in what order, so a sweep is
+/// bit-reproducible for any thread count. Distinct from derive_seed's
+/// key-space so component tags and run lanes can never collide.
+[[nodiscard]] std::uint64_t split_seed(std::uint64_t root, std::uint64_t lane);
+
 /// 64-bit mix of an arbitrary byte string (FNV-1a + finalizer); used for
 /// ECMP 5-tuple hashing.
 [[nodiscard]] std::uint64_t hash_bytes(const void* data, std::size_t len);

@@ -1,0 +1,75 @@
+#include "util/thread_pool.hpp"
+
+#include <chrono>
+
+namespace pythia::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+std::uint64_t ThreadPool::tasks_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_completed_;
+}
+
+double ThreadPool::busy_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_seconds_;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    task();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      ++tasks_completed_;
+      busy_seconds_ += dt.count();
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace pythia::util

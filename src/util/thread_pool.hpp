@@ -1,0 +1,61 @@
+// Work-queue thread pool for fanning independent simulation runs out across
+// cores.
+//
+// The pool is deliberately minimal: FIFO task queue, fixed worker count,
+// blocking wait_idle() between batches. Determinism of anything built on top
+// must come from task *independence* (each task owns its Simulation, Fabric,
+// and RNG streams) plus index-ordered result gathering — never from queue
+// scheduling order, which is unspecified.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pythia::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means one per hardware core (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (wrap and capture exceptions at
+  /// the call site); the pool aborts on escaped exceptions by design.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle. Establishes a
+  /// happens-before edge with all completed tasks, so results they wrote are
+  /// visible to the caller without further synchronization.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Total tasks fully executed since construction (live progress counter).
+  [[nodiscard]] std::uint64_t tasks_completed() const;
+  /// Cumulative seconds workers spent inside tasks (for utilization).
+  [[nodiscard]] double busy_seconds() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;   // wait_idle: queue empty, none active
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::uint64_t tasks_completed_ = 0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace pythia::util

@@ -1,0 +1,92 @@
+// Golden-trace regression test: the seed scenario's full event trace — flow
+// starts/completions, map outputs, reducer starts, fetch lifecycle, rule
+// installs, watchdog transitions — serialized and diffed against a
+// checked-in golden file. A behavior-preserving refactor (like PR 2's
+// incremental rate engine) keeps the trace byte-identical; any engine change
+// that shifts an event shows up as a one-line diff here instead of as an
+// ad-hoc differential test per subsystem.
+//
+// Regenerate after an *intentional* behavior change with:
+//   PYTHIA_REGEN_GOLDEN=1 ./build/tests/test_golden_trace
+// (see docs/testing.md), then review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "experiments/scenario.hpp"
+#include "experiments/trace.hpp"
+#include "workloads/hibench.hpp"
+
+namespace pythia::exp {
+namespace {
+
+constexpr const char* kGoldenRelPath = "/integration/golden/seed_trace.txt";
+
+std::string golden_path() { return std::string(PYTHIA_TEST_DIR) + kGoldenRelPath; }
+
+/// The pinned seed scenario: quickstart shape (2-rack, 1:10 background,
+/// Pythia scheduler) with a small sort so the trace stays reviewable.
+std::string record_seed_trace() {
+  ScenarioConfig cfg;
+  cfg.seed = 42;
+  cfg.scheduler = SchedulerKind::kPythia;
+  cfg.background.oversubscription = 10.0;
+  Scenario scenario(cfg);
+  EventTraceRecorder recorder(scenario);
+  scenario.run_job(
+      workloads::sort_job(util::Bytes{2LL * 1000 * 1000 * 1000}, 4));
+  return recorder.text();
+}
+
+TEST(GoldenTrace, SeedScenarioMatchesGoldenFile) {
+  const std::string trace = record_seed_trace();
+  ASSERT_FALSE(trace.empty());
+
+  const char* regen = std::getenv("PYTHIA_REGEN_GOLDEN");
+  if (regen != nullptr && *regen != '\0' && std::string(regen) != "0") {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << golden_path();
+    out << trace;
+    GTEST_SKIP() << "golden trace regenerated at " << golden_path()
+                 << " — review the diff before committing";
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << "missing golden file " << golden_path()
+      << " — regenerate with PYTHIA_REGEN_GOLDEN=1";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string golden = buf.str();
+
+  if (trace == golden) {
+    SUCCEED();
+    return;
+  }
+  // Pinpoint the first diverging line for a readable failure.
+  std::istringstream got(trace);
+  std::istringstream want(golden);
+  std::string got_line;
+  std::string want_line;
+  std::size_t line_no = 0;
+  while (true) {
+    const bool has_got = static_cast<bool>(std::getline(got, got_line));
+    const bool has_want = static_cast<bool>(std::getline(want, want_line));
+    ++line_no;
+    if (!has_got && !has_want) break;
+    ASSERT_EQ(has_want, has_got) << "trace length diverges at line "
+                                 << line_no;
+    ASSERT_EQ(want_line, got_line) << "trace diverges at line " << line_no;
+  }
+  FAIL() << "traces differ but no diverging line found (line endings?)";
+}
+
+TEST(GoldenTrace, TraceIsDeterministicAcrossRuns) {
+  EXPECT_EQ(record_seed_trace(), record_seed_trace());
+}
+
+}  // namespace
+}  // namespace pythia::exp

@@ -1,0 +1,83 @@
+// ThreadPool unit tests; also the TSan target exercising the work queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace pythia::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.tasks_completed(), 100u);
+}
+
+TEST(ThreadPool, WaitIdlePublishesTaskWrites) {
+  // Plain (non-atomic) writes must be visible after wait_idle — the
+  // happens-before edge ParallelRunner's result gathering relies on.
+  ThreadPool pool(3);
+  std::vector<int> results(64, 0);
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      pool.submit([&results, i, round] {
+        results[i] = static_cast<int>(i) + round;
+      });
+    }
+    pool.wait_idle();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i], static_cast<int>(i) + round);
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    // No wait_idle: the destructor must drain the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, BusySecondsAccumulate) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> spin{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&spin] {
+      for (int j = 0; j < 100000; ++j) spin.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_GT(pool.busy_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace pythia::util
