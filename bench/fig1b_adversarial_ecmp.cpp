@@ -113,10 +113,10 @@ int main() {
   out.add_row({"adversarial slowdown",
                util::Table::num(hot_time / cold_time, 1) + "x"});
   out.add_row({"Pythia: 159MB aggregate placed on",
-               rule1 && rule1->path.links == paths[1].links ? "Path-2 (idle)"
-                                                            : "Path-1"});
+               rule1 && rule1->path->links == paths[1].links ? "Path-2 (idle)"
+                                                             : "Path-1"});
   out.add_row({"Pythia: 32MB aggregate placed on",
-               rule2 && rule2->path.links[1] == paths[0].links[1]
+               rule2 && rule2->path->links[1] == paths[0].links[1]
                    ? "Path-1"
                    : "Path-2"});
   std::printf("%s", out.to_string().c_str());

@@ -1,0 +1,344 @@
+// Routing-engine scaling sweep: k-shortest-path table rebuild latency on
+// fat-tree k=4/8/16 for a single-cable (duplex) failure and its restore,
+// full recompute vs the incremental reverse-index rebuild, plus the per-flow
+// allocator choose_path decision latency on the interned tables. Writes
+// BENCH_routing.json (rebuild wall times, pairs recomputed vs reused,
+// choose_path ns, peak RSS). `--smoke` runs k=4 only for CI.
+//
+// Two victims per topology: the cable with the *median* reverse-index
+// fanout (a representative physical failure) and the one with the *largest*
+// (the adversarial case — on a fat tree that is a core uplink whose
+// candidate sets cover a quarter of all cross-pod pairs, which bounds the
+// achievable speedup by the work ratio itself). Before timing, one untimed
+// fail+restore cycle checks the incremental table is byte-identical to the
+// full one, pair by pair — a speedup against a wrong table is meaningless.
+// Each timed cycle runs 3 reps; the median is reported.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "net/fabric.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "sdn/controller.hpp"
+#include "sim/simulation.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace pythia;
+using net::LinkId;
+using net::NodeId;
+using net::RebuildMode;
+using net::RoutingGraph;
+using net::Topology;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+             .count() /
+         1e6;
+}
+
+double median3(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// A cable plus its opposite direction (a physical failure takes both).
+std::unordered_set<LinkId> duplex(const Topology& topo, LinkId l) {
+  std::unordered_set<LinkId> banned{l};
+  if (const auto peer = topo.find_link(topo.link(l).dst, topo.link(l).src)) {
+    banned.insert(*peer);
+  }
+  return banned;
+}
+
+/// Switch-switch cables actually present in some candidate set, sorted by
+/// reverse-index fanout ascending. Cables no pair routes over (common in the
+/// sparse k=16 cell, whose 128 hosts cannot exercise the full core) are
+/// excluded — "failing" one is a no-op for routing and measures nothing.
+std::vector<LinkId> cables_by_fanout(const Topology& topo,
+                                     const RoutingGraph& rg) {
+  std::vector<LinkId> cables;
+  for (const auto& link : topo.links()) {
+    if (topo.node(link.src).kind == net::NodeKind::kSwitch &&
+        topo.node(link.dst).kind == net::NodeKind::kSwitch &&
+        rg.pairs_using(link.id) > 0) {
+      cables.push_back(link.id);
+    }
+  }
+  std::sort(cables.begin(), cables.end(), [&](LinkId a, LinkId b) {
+    if (rg.pairs_using(a) != rg.pairs_using(b)) {
+      return rg.pairs_using(a) < rg.pairs_using(b);
+    }
+    return a.value() < b.value();
+  });
+  return cables;
+}
+
+bool tables_identical(const Topology& topo, const RoutingGraph& a,
+                      const RoutingGraph& b) {
+  const auto hosts = topo.hosts();
+  for (NodeId s : hosts) {
+    for (NodeId d : hosts) {
+      if (s == d) continue;
+      const auto pa = a.paths(s, d);
+      const auto pb = b.paths(s, d);
+      if (pa.size() != pb.size()) return false;
+      for (std::size_t i = 0; i < pa.size(); ++i) {
+        if (pa[i].links != pb[i].links) return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct VictimResult {
+  std::size_t fanout = 0;
+  double fail_inc_cold_ms = 0.0;
+  std::uint64_t pairs_recomputed_cold = 0;
+  double fail_full_ms = 0.0;
+  double fail_inc_ms = 0.0;
+  double restore_full_ms = 0.0;
+  double restore_inc_ms = 0.0;
+  std::uint64_t pairs_recomputed_fail = 0;
+  std::uint64_t pairs_recomputed_restore = 0;
+  bool identical = false;
+
+  [[nodiscard]] double fail_speedup() const {
+    return fail_inc_ms > 0.0 ? fail_full_ms / fail_inc_ms : 0.0;
+  }
+  [[nodiscard]] double restore_speedup() const {
+    return restore_inc_ms > 0.0 ? restore_full_ms / restore_inc_ms : 0.0;
+  }
+};
+
+VictimResult run_victim(const Topology& topo, RoutingGraph& inc,
+                        RoutingGraph& full, LinkId victim, int reps) {
+  VictimResult r;
+  r.fanout = inc.pairs_using(victim);
+  const auto banned = duplex(topo, victim);
+
+  // Cold first failure: the reverse index still carries the initial build's
+  // touched unions, which include every unchosen Yen candidate. A
+  // fail+restore cycle shrinks the recomputed pairs' stored witness runs to
+  // the ban-era unions (still sound — the differential tests prove it), so
+  // repeat failures of the same cable recompute fewer pairs. Both costs are
+  // real: cold is the first-ever failure, warm is every one after.
+  const auto cold_before = inc.counters().pairs_recomputed;
+  auto t0 = std::chrono::steady_clock::now();
+  inc.rebuild(topo, banned, RebuildMode::kIncremental);
+  r.fail_inc_cold_ms = ms_since(t0);
+  r.pairs_recomputed_cold = inc.counters().pairs_recomputed - cold_before;
+  full.rebuild(topo, banned, RebuildMode::kFull);
+  r.identical = tables_identical(topo, inc, full);
+  inc.rebuild(topo, {}, RebuildMode::kIncremental);
+  full.rebuild(topo, {}, RebuildMode::kFull);
+  r.identical = r.identical && tables_identical(topo, inc, full);
+
+  std::vector<double> fail_full, fail_inc, restore_full, restore_inc;
+  for (int i = 0; i < reps; ++i) {
+    t0 = std::chrono::steady_clock::now();
+    full.rebuild(topo, banned, RebuildMode::kFull);
+    fail_full.push_back(ms_since(t0));
+    t0 = std::chrono::steady_clock::now();
+    full.rebuild(topo, {}, RebuildMode::kFull);
+    restore_full.push_back(ms_since(t0));
+
+    const auto before_fail = inc.counters().pairs_recomputed;
+    t0 = std::chrono::steady_clock::now();
+    inc.rebuild(topo, banned, RebuildMode::kIncremental);
+    fail_inc.push_back(ms_since(t0));
+    const auto before_restore = inc.counters().pairs_recomputed;
+    t0 = std::chrono::steady_clock::now();
+    inc.rebuild(topo, {}, RebuildMode::kIncremental);
+    restore_inc.push_back(ms_since(t0));
+    r.pairs_recomputed_fail = before_restore - before_fail;
+    r.pairs_recomputed_restore =
+        inc.counters().pairs_recomputed - before_restore;
+  }
+  r.fail_full_ms = median3(fail_full);
+  r.fail_inc_ms = median3(fail_inc);
+  r.restore_full_ms = median3(restore_full);
+  r.restore_inc_ms = median3(restore_inc);
+  return r;
+}
+
+/// Per-flow decision latency: the allocator's drain-time scan over the
+/// interned candidate set, measured over random host pairs on an idle
+/// network (pure table + pool traversal, no packing feedback).
+double choose_path_ns(const Topology& topo, int iters) {
+  sim::Simulation sim(1);
+  net::Fabric fabric(sim, topo);
+  sdn::ControllerConfig cfg;
+  cfg.k_paths = 4;
+  sdn::Controller controller(sim, fabric, topo, cfg);
+  core::Allocator alloc(controller);
+  const auto hosts = topo.hosts();
+  util::Xoshiro256 rng(7);
+
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    const NodeId src = hosts[rng.below(hosts.size())];
+    NodeId dst = src;
+    while (dst == src) dst = hosts[rng.below(hosts.size())];
+    pairs.emplace_back(src, dst);
+  }
+
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& [src, dst] : pairs) {
+    sink += alloc.choose_path(src, dst, util::Bytes{1'000'000}).value();
+  }
+  const double total_ms = ms_since(t0);
+  if (sink == 0) std::fprintf(stderr, "choose_path sink unexpectedly zero\n");
+  return total_ms * 1e6 / iters;
+}
+
+long peak_rss_kb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+void print_victim(const std::string& label, const char* victim,
+                  std::size_t hosts, std::uint64_t pairs,
+                  const VictimResult& r) {
+  std::printf(
+      "%-20s %-7s %6zu %7llu %7zu | %10.3f %10.3f %7.1fx | %10.3f %10.3f "
+      "%7.1fx\n",
+      label.c_str(), victim, hosts, static_cast<unsigned long long>(pairs),
+      r.fanout, r.fail_full_ms, r.fail_inc_ms, r.fail_speedup(),
+      r.restore_full_ms, r.restore_inc_ms, r.restore_speedup());
+  std::fflush(stdout);
+}
+
+void emit_victim(std::FILE* out, const char* name, const VictimResult& r) {
+  std::fprintf(out,
+               "      \"%s\": {\"fanout\": %zu,\n"
+               "        \"fail_incremental_cold_ms\": %.4f, "
+               "\"pairs_recomputed_cold\": %llu,\n"
+               "        \"fail_full_ms\": %.4f, \"fail_incremental_ms\": "
+               "%.4f, \"fail_speedup\": %.2f,\n"
+               "        \"restore_full_ms\": %.4f, "
+               "\"restore_incremental_ms\": %.4f, \"restore_speedup\": "
+               "%.2f,\n"
+               "        \"pairs_recomputed_fail\": %llu, "
+               "\"pairs_recomputed_restore\": %llu, \"identical\": %s}",
+               name, r.fanout, r.fail_inc_cold_ms,
+               static_cast<unsigned long long>(r.pairs_recomputed_cold),
+               r.fail_full_ms, r.fail_inc_ms, r.fail_speedup(),
+               r.restore_full_ms, r.restore_inc_ms, r.restore_speedup(),
+               static_cast<unsigned long long>(r.pairs_recomputed_fail),
+               static_cast<unsigned long long>(r.pairs_recomputed_restore),
+               r.identical ? "true" : "false");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_routing.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  // k=16 at canonical density would be 1024 hosts / ~1M pairs; one host per
+  // edge switch keeps the initial Yen pass tractable while preserving the
+  // 320-switch core the rebuild has to reason about.
+  struct Cell {
+    std::size_t fat_tree_k;
+    std::size_t hosts_per_edge;
+  };
+  const std::vector<Cell> cells = smoke
+                                      ? std::vector<Cell>{{4, 0}}
+                                      : std::vector<Cell>{{4, 0}, {8, 0},
+                                                          {16, 1}};
+  const std::size_t k_paths = 4;
+  const int reps = 3;
+  const int choose_iters = smoke ? 2'000 : 20'000;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"routing_scaling\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n  \"k_paths\": %zu,\n",
+               smoke ? "true" : "false", k_paths);
+  std::fprintf(out, "  \"reps_per_cell\": %d,\n  \"cells\": [\n", reps);
+
+  std::printf("%-20s %-7s %6s %7s %7s | %10s %10s %8s | %10s %10s %8s\n",
+              "topology", "victim", "hosts", "pairs", "fanout", "fail full",
+              "fail incr", "speedup", "rest full", "rest incr", "speedup");
+  bool first = true;
+  bool all_identical = true;
+  for (const Cell& cell : cells) {
+    net::FatTreeConfig cfg;
+    cfg.k = cell.fat_tree_k;
+    cfg.hosts_per_edge = cell.hosts_per_edge;
+    const Topology topo = net::make_fat_tree(cfg);
+    const std::string label = "fat_tree_k" + std::to_string(cell.fat_tree_k) +
+                              (cell.hosts_per_edge == 1 ? "_sparse" : "");
+    const auto hosts = topo.hosts().size();
+    const auto pairs = static_cast<std::uint64_t>(hosts) * (hosts - 1);
+
+    std::vector<double> build;
+    for (int i = 0; i < reps; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      RoutingGraph rg(topo, k_paths);
+      build.push_back(ms_since(t0));
+    }
+    const double build_ms = median3(build);
+
+    RoutingGraph inc(topo, k_paths);
+    RoutingGraph full(topo, k_paths);
+    const auto cables = cables_by_fanout(topo, inc);
+    const VictimResult median = run_victim(
+        topo, inc, full, cables[cables.size() / 2], reps);
+    const VictimResult worst = run_victim(topo, inc, full, cables.back(),
+                                          reps);
+    const double choose_ns = choose_path_ns(topo, choose_iters);
+    all_identical = all_identical && median.identical && worst.identical;
+
+    print_victim(label, "median", hosts, pairs, median);
+    print_victim(label, "worst", hosts, pairs, worst);
+    std::printf("%-20s   build %.2f ms, choose_path %.0f ns\n", label.c_str(),
+                build_ms, choose_ns);
+
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+    std::fprintf(out,
+                 "    {\"topology\": \"%s\", \"hosts\": %zu, "
+                 "\"pairs\": %llu,\n",
+                 label.c_str(), hosts,
+                 static_cast<unsigned long long>(pairs));
+    std::fprintf(out, "      \"build_ms\": %.3f,\n", build_ms);
+    emit_victim(out, "median_cable", median);
+    std::fprintf(out, ",\n");
+    emit_victim(out, "worst_cable", worst);
+    std::fprintf(out, ",\n      \"choose_path_ns\": %.1f,\n", choose_ns);
+    std::fprintf(out, "      \"peak_rss_kb\": %ld}", peak_rss_kb());
+  }
+  std::fprintf(out, "\n  ],\n  \"all_identical\": %s,\n",
+               all_identical ? "true" : "false");
+  std::fprintf(out, "  \"peak_rss_kb\": %ld\n}\n", peak_rss_kb());
+  std::fclose(out);
+  std::printf("wrote %s (peak RSS %ld KiB)%s\n", out_path.c_str(),
+              peak_rss_kb(),
+              all_identical ? "" : " — TABLE MISMATCH, numbers invalid");
+  return all_identical ? 0 : 1;
+}

@@ -38,26 +38,28 @@ util::Bytes Allocator::pair_outstanding(net::NodeId src,
                                  : util::Bytes{it->second.outstanding};
 }
 
-net::Path Allocator::effective_path(const net::Path& chosen) const {
+net::PathId Allocator::effective_path(net::PathId chosen) {
   if (cfg_.aggregation == Aggregation::kServerPair) return chosen;
+  const net::Path& path = controller_->path(chosen);
   // An intra-rack path (host→ToR→host, 2 links) has no inter-ToR segment to
   // aggregate over; stripping the access links would leave an empty rack rule.
   // Such pairs are installed at server granularity instead (see install()).
-  if (chosen.links.size() < 3) return chosen;
+  if (path.links.size() < 3) return chosen;
   net::Path chain;
-  chain.links.assign(chosen.links.begin() + 1, chosen.links.end() - 1);
-  return chain;
+  chain.links.assign(path.links.begin() + 1, path.links.end() - 1);
+  return controller_->intern_path(std::move(chain));
 }
 
-bool Allocator::install(net::NodeId src, net::NodeId dst,
-                        const net::Path& chosen, util::Bytes volume_hint) {
+bool Allocator::install(net::NodeId src, net::NodeId dst, net::PathId chosen,
+                        util::Bytes volume_hint) {
+  const net::Path& path = controller_->path(chosen);
   if (cfg_.aggregation == Aggregation::kServerPair ||
-      chosen.links.size() < 3) {
-    return controller_->install_path(src, dst, chosen, volume_hint);
+      path.links.size() < 3) {
+    return controller_->install_path_id(src, dst, chosen, volume_hint);
   }
   const auto& topo = controller_->topology();
   controller_->install_rack_path(topo.node(src).rack, topo.node(dst).rack,
-                                 effective_path(chosen));
+                                 controller_->path(effective_path(chosen)));
   return true;
 }
 
@@ -80,13 +82,14 @@ double Allocator::drain_time_seconds(const net::Path& path,
   return worst;
 }
 
-const net::Path* Allocator::choose_path(net::NodeId src, net::NodeId dst,
-                                        util::Bytes volume) const {
-  const auto& candidates = controller_->routing().paths(src, dst);
-  const net::Path* best = nullptr;
+net::PathId Allocator::choose_path(net::NodeId src, net::NodeId dst,
+                                   util::Bytes volume) const {
+  const auto candidates = controller_->routing().paths(src, dst);
+  net::PathId best;
   double best_drain = std::numeric_limits<double>::infinity();
   std::int64_t best_packed = std::numeric_limits<std::int64_t>::max();
-  for (const auto& p : candidates) {
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const net::Path& p = candidates[i];
     const double drain = drain_time_seconds(p, volume);
     // Tie-break by total outstanding volume already packed along the path —
     // links shared by all candidates (host access links) often dominate the
@@ -97,14 +100,14 @@ const net::Path* Allocator::choose_path(net::NodeId src, net::NodeId dst,
         (drain < best_drain + 1e-12 && packed < best_packed)) {
       best_drain = std::min(best_drain, drain);
       best_packed = packed;
-      best = &p;
+      best = candidates.id(i);
     }
   }
   return best;
 }
 
-void Allocator::pack_onto(const net::Path& path, std::int64_t bytes) {
-  for (net::LinkId l : path.links) {
+void Allocator::pack_onto(net::PathId path, std::int64_t bytes) {
+  for (net::LinkId l : controller_->path(path).links) {
     link_outstanding_[l.value()] =
         std::max<std::int64_t>(0, link_outstanding_[l.value()] + bytes);
   }
@@ -128,15 +131,16 @@ void Allocator::add_predicted_volume(net::NodeId src_server,
   if (!agg.installed || agg.outstanding == 0) {
     // Fresh (or fully drained) aggregate: (re)allocate against the current
     // network state, then install the forwarding rule ahead of the flows.
-    const net::Path* chosen = choose_path(src_server, dst_server, wire_bytes);
-    if (chosen == nullptr) {
+    const net::PathId chosen =
+        choose_path(src_server, dst_server, wire_bytes);
+    if (!chosen.valid()) {
       PYTHIA_LOG(kWarn, "pythia")
           << "no path between server " << src_server.value() << " and "
           << dst_server.value() << "; aggregate left to ECMP";
       agg.outstanding += wire_bytes.count();
       return;
     }
-    if (!install(src_server, dst_server, *chosen,
+    if (!install(src_server, dst_server, chosen,
                  util::Bytes{agg.outstanding + wire_bytes.count()})) {
       // Controller refused the rule (full flow table, stale path): the
       // aggregate rides ECMP, so packing the chosen path would poison the
@@ -146,8 +150,8 @@ void Allocator::add_predicted_volume(net::NodeId src_server,
       agg.outstanding += wire_bytes.count();
       return;
     }
-    const net::Path packed = effective_path(*chosen);
-    if (agg.installed && !(agg.path == packed)) ++reallocations_;
+    const net::PathId packed = effective_path(chosen);
+    if (agg.installed && agg.path != packed) ++reallocations_;
     agg.path = packed;
     agg.installed = true;
     ++allocations_;
@@ -179,15 +183,15 @@ void Allocator::resume() {
     return a.first < b.first;
   });
   for (auto& [key, agg] : live) {
-    const net::Path* chosen =
+    const net::PathId chosen =
         choose_path(agg->src, agg->dst, util::Bytes{agg->outstanding});
-    if (chosen == nullptr) continue;
-    if (!install(agg->src, agg->dst, *chosen,
+    if (!chosen.valid()) continue;
+    if (!install(agg->src, agg->dst, chosen,
                  util::Bytes{agg->outstanding})) {
       ++installs_refused_;
       continue;
     }
-    agg->path = effective_path(*chosen);
+    agg->path = effective_path(chosen);
     agg->installed = true;
     ++allocations_;
     pack_onto(agg->path, agg->outstanding);

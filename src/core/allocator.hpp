@@ -87,11 +87,20 @@ class Allocator {
   [[nodiscard]] double drain_time_seconds(const net::Path& path,
                                           util::Bytes additional) const;
 
+  /// The drain-time/first-fit path decision for an aggregate, as an interned
+  /// id (invalid when the pair is disconnected). Public for the routing
+  /// bench, which measures the per-flow decision latency in isolation.
+  [[nodiscard]] net::PathId choose_path(net::NodeId src, net::NodeId dst,
+                                        util::Bytes volume) const;
+
  private:
   struct Aggregate {
     std::int64_t outstanding = 0;
     bool installed = false;
-    net::Path path;  // full host path, or inter-rack chain (rack mode)
+    /// Interned effective path: full host path, or inter-rack chain (rack
+    /// mode). Ids are canonical per link sequence, so equality of ids is
+    /// equality of paths.
+    net::PathId path;
     /// Last host pair seen for this aggregate (lets resume() re-allocate
     /// without decoding keys; in rack mode, any representative pair).
     net::NodeId src;
@@ -100,14 +109,12 @@ class Allocator {
   /// Host-pair key in server mode; rack-pair key (tagged) in rack mode.
   [[nodiscard]] std::uint64_t aggregate_key(net::NodeId src,
                                             net::NodeId dst) const;
-  void pack_onto(const net::Path& path, std::int64_t bytes);
-  [[nodiscard]] const net::Path* choose_path(net::NodeId src, net::NodeId dst,
-                                             util::Bytes volume) const;
+  void pack_onto(net::PathId path, std::int64_t bytes);
   [[nodiscard]] bool install(net::NodeId src, net::NodeId dst,
-                             const net::Path& chosen,
-                             util::Bytes volume_hint);
-  /// Strips host access links when packing at rack granularity.
-  [[nodiscard]] net::Path effective_path(const net::Path& chosen) const;
+                             net::PathId chosen, util::Bytes volume_hint);
+  /// Strips host access links when packing at rack granularity (interning
+  /// the chain, hence non-const).
+  [[nodiscard]] net::PathId effective_path(net::PathId chosen);
 
   sdn::Controller* controller_;
   AllocatorConfig cfg_;

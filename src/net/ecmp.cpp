@@ -20,9 +20,14 @@ std::size_t EcmpSelector::select_index(const FiveTuple& t, std::size_t n) {
 
 const Path& EcmpSelector::select(NodeId src_host, NodeId dst_host,
                                  const FiveTuple& t) const {
-  const auto& candidates = routing_->paths(src_host, dst_host);
+  return routing_->path(select_id(src_host, dst_host, t));
+}
+
+PathId EcmpSelector::select_id(NodeId src_host, NodeId dst_host,
+                               const FiveTuple& t) const {
+  const auto candidates = routing_->paths(src_host, dst_host);
   assert(!candidates.empty() && "ECMP requires a connected host pair");
-  return candidates[select_index(t, candidates.size())];
+  return candidates.id(select_index(t, candidates.size()));
 }
 
 }  // namespace pythia::net

@@ -27,6 +27,11 @@ class EcmpSelector {
   [[nodiscard]] const Path& select(NodeId src_host, NodeId dst_host,
                                    const FiveTuple& t) const;
 
+  /// Same selection as interned id — the per-flow hot path passes this
+  /// around instead of copying link vectors. Same precondition as select().
+  [[nodiscard]] PathId select_id(NodeId src_host, NodeId dst_host,
+                                 const FiveTuple& t) const;
+
  private:
   const RoutingGraph* routing_;
 };

@@ -19,6 +19,26 @@ struct QueueEntry {
   }
 };
 
+constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// FNV-1a over a link-id sequence; collisions are resolved by full sequence
+/// equality wherever this is used.
+std::uint64_t link_seq_hash(const std::vector<LinkId>& links) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (LinkId l : links) {
+    h ^= l.value();
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct LinkSeqHash {
+  std::size_t operator()(const std::vector<LinkId>& links) const noexcept {
+    return static_cast<std::size_t>(link_seq_hash(links));
+  }
+};
+
 }  // namespace
 
 std::optional<Path> shortest_path(
@@ -73,11 +93,16 @@ std::optional<Path> shortest_path(
 
 std::vector<Path> k_shortest_paths(
     const Topology& topo, NodeId src, NodeId dst, std::size_t k,
-    const std::unordered_set<LinkId>& banned_links) {
+    const std::unordered_set<LinkId>& banned_links,
+    std::vector<LinkId>* touched_links) {
   std::vector<Path> result;
   if (k == 0) return result;
   auto first = shortest_path(topo, src, dst, banned_links);
   if (!first) return result;
+  if (touched_links != nullptr) {
+    touched_links->insert(touched_links->end(), first->links.begin(),
+                          first->links.end());
+  }
   result.push_back(std::move(*first));
 
   // Candidate pool ordered by (hops, link-id sequence) for determinism.
@@ -88,44 +113,54 @@ std::vector<Path> k_shortest_paths(
         [](LinkId x, LinkId y) { return x.value() < y.value(); });
   };
   std::vector<Path> candidates;
+  // Link sequences already in result or candidates — replaces the quadratic
+  // std::find scans over both containers with one hashed lookup.
+  std::unordered_set<std::vector<LinkId>, LinkSeqHash> seen;
+  seen.insert(result.front().links);
+
+  // One scratch banned set shared by every spur computation instead of a
+  // fresh copy of banned_links per spur; spur-specific insertions are rolled
+  // back after each shortest_path call.
+  std::unordered_set<LinkId> spur_banned = banned_links;
+  std::vector<LinkId> spur_added;
 
   while (result.size() < k) {
     const Path& prev = result.back();
-    // Spur from every prefix of the previous path.
+    // Spur from every prefix of the previous path. The banned-node set grows
+    // with the prefix (root nodes except the spur node stay banned), so it
+    // is built incrementally instead of from scratch per spur.
+    std::unordered_set<NodeId> banned_nodes;
+    NodeId spur_node = src;
     for (std::size_t i = 0; i < prev.links.size(); ++i) {
-      const NodeId spur_node =
-          i == 0 ? src : topo.link(prev.links[i - 1]).dst;
-      std::vector<LinkId> root(prev.links.begin(),
-                               prev.links.begin() + static_cast<long>(i));
-
-      std::unordered_set<LinkId> spur_banned = banned_links;
-      for (const Path& p : result) {
-        if (p.links.size() > i &&
-            std::equal(root.begin(), root.end(), p.links.begin())) {
-          spur_banned.insert(p.links[i]);
-        }
+      if (i > 0) {
+        banned_nodes.insert(spur_node);
+        spur_node = topo.link(prev.links[i - 1]).dst;
       }
-      // Ban root nodes (except the spur node) to keep paths loop-free.
-      std::unordered_set<NodeId> banned_nodes;
-      NodeId cursor = src;
-      for (std::size_t j = 0; j < i; ++j) {
-        banned_nodes.insert(cursor);
-        cursor = topo.link(prev.links[j]).dst;
+      const auto root_begin = prev.links.begin();
+      const auto root_end = root_begin + static_cast<std::ptrdiff_t>(i);
+      spur_added.clear();
+      for (const Path& p : result) {
+        if (p.links.size() > i && std::equal(root_begin, root_end,
+                                             p.links.begin())) {
+          if (spur_banned.insert(p.links[i]).second) {
+            spur_added.push_back(p.links[i]);
+          }
+        }
       }
 
       auto spur = shortest_path(topo, spur_node, dst, spur_banned,
                                 banned_nodes);
+      for (LinkId l : spur_added) spur_banned.erase(l);
       if (!spur) continue;
       Path total;
-      total.links = root;
+      total.links.reserve(i + spur->links.size());
+      total.links.insert(total.links.end(), root_begin, root_end);
       total.links.insert(total.links.end(), spur->links.begin(),
                          spur->links.end());
-      if (std::find(result.begin(), result.end(), total) != result.end()) {
-        continue;
-      }
-      if (std::find(candidates.begin(), candidates.end(), total) !=
-          candidates.end()) {
-        continue;
+      if (!seen.insert(total.links).second) continue;
+      if (touched_links != nullptr) {
+        touched_links->insert(touched_links->end(), total.links.begin(),
+                              total.links.end());
       }
       candidates.push_back(std::move(total));
     }
@@ -138,28 +173,251 @@ std::vector<Path> k_shortest_paths(
   return result;
 }
 
-RoutingGraph::RoutingGraph(const Topology& topo, std::size_t k)
-    : topo_(&topo), k_(k) {
-  rebuild(topo);
+PathId PathPool::intern(Path path) {
+  const std::uint64_t h = link_seq_hash(path.links);
+  auto& bucket = index_[h];
+  for (std::uint32_t id : bucket) {
+    if (paths_[id].links == path.links) return PathId{id};
+  }
+  const auto id = static_cast<std::uint32_t>(paths_.size());
+  paths_.push_back(std::move(path));
+  bucket.push_back(id);
+  return PathId{id};
+}
+
+void PathPool::clear() {
+  paths_.clear();
+  index_.clear();
+}
+
+std::vector<Path> PathSet::materialize() const {
+  std::vector<Path> out;
+  out.reserve(ids_->size());
+  for (PathId id : *ids_) out.push_back(pool_->path(id));
+  return out;
+}
+
+RoutingGraph::RoutingGraph(const Topology& topo, std::size_t k) : k_(k) {
+  rebuild(topo, {}, RebuildMode::kFull);
 }
 
 void RoutingGraph::rebuild(const Topology& topo,
-                           const std::unordered_set<LinkId>& banned_links) {
-  topo_ = &topo;
-  table_.clear();
-  const auto hosts = topo.hosts();
-  for (NodeId a : hosts) {
-    for (NodeId b : hosts) {
-      if (a == b) continue;
-      table_[key(a, b)] = k_shortest_paths(topo, a, b, k_, banned_links);
+                           const std::unordered_set<LinkId>& banned_links,
+                           RebuildMode mode) {
+  const bool same_topology = topo_ == &topo &&
+                             node_count_ == topo.node_count() &&
+                             link_count_ == topo.link_count();
+  if (!same_topology) {
+    // A different (or resized) topology invalidates every interned id.
+    if (topo_ != nullptr) pool_.clear();
+    topo_ = &topo;
+    index_topology(topo);
+  }
+  if (same_topology && mode == RebuildMode::kIncremental) {
+    rebuild_incremental(banned_links);
+  } else {
+    rebuild_full(banned_links);
+  }
+  banned_ = banned_links;
+}
+
+void RoutingGraph::index_topology(const Topology& topo) {
+  node_count_ = topo.node_count();
+  link_count_ = topo.link_count();
+  hosts_ = topo.hosts();
+  host_slot_.assign(node_count_, kNotHost);
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    host_slot_[hosts_[i].value()] = static_cast<std::uint32_t>(i);
+  }
+  table_.assign(hosts_.size() * hosts_.size(), {});
+  pair_links_.assign(table_.size(), {});
+  link_pairs_.assign(link_count_, {});
+  in_links_.assign(node_count_, {});
+  for (const Link& l : topo.links()) {
+    in_links_[l.dst.value()].push_back(l.id);
+  }
+}
+
+void RoutingGraph::rebuild_full(const std::unordered_set<LinkId>& banned) {
+  ++counters_.full_rebuilds;
+  for (auto& slots : link_pairs_) slots.clear();
+  const std::size_t H = hosts_.size();
+  for (std::size_t slot = 0; slot < table_.size(); ++slot) {
+    table_[slot].clear();
+    pair_links_[slot].clear();
+    if (slot / H == slot % H) continue;  // diagonal: src == dst
+    recompute_pair(slot, banned);
+  }
+}
+
+// Incremental rebuild recomputes only pairs the banned-set delta can affect;
+// every other pair's cached k-best set is *exactly* what a full rebuild
+// would produce (the differential tests exercise this):
+//
+//  - Newly banned link m: a pair can only change if m was touched by its
+//    last Yen run (any generated candidate, chosen or not). If no spur
+//    Dijkstra result used m, every Dijkstra in the rerun returns the same
+//    path (removing an edge unused by the returned path cannot change the
+//    deterministic parent selection along it — dists and relative pop order
+//    of the nodes on the path are preserved), so the whole run replays
+//    byte-identically.
+//  - Restored link l = (u → v): any candidate the rerun generates that did
+//    not exist before implies an s ⇝ u → v ⇝ t walk of the same hop count,
+//    so its length is ≥ lb = dist(s, u) + 1 + dist(v, t) on the new graph.
+//    If the pair already has k candidates and lb exceeds the k-th's hops,
+//    no new or changed candidate can displace a chosen one and the result
+//    set is unchanged. (Unchosen long candidates may differ; they are also
+//    irrelevant to future deltas for the same hop-bound reason.)
+void RoutingGraph::rebuild_incremental(
+    const std::unordered_set<LinkId>& banned) {
+  ++counters_.incremental_rebuilds;
+  std::vector<LinkId> added;    // newly failed links
+  std::vector<LinkId> removed;  // restored links
+  for (LinkId l : banned) {
+    if (!banned_.contains(l)) added.push_back(l);
+  }
+  for (LinkId l : banned_) {
+    if (!banned.contains(l)) removed.push_back(l);
+  }
+  const std::size_t H = hosts_.size();
+  const std::size_t total_pairs = H < 2 ? 0 : H * (H - 1);
+  if (added.empty() && removed.empty()) {
+    counters_.pairs_reused += total_pairs;
+    return;
+  }
+  std::sort(added.begin(), added.end());
+  std::sort(removed.begin(), removed.end());
+
+  std::vector<char> affected(table_.size(), 0);
+  for (LinkId l : added) {
+    for (std::uint32_t slot : link_pairs_[l.value()]) affected[slot] = 1;
+  }
+
+  if (!removed.empty()) {
+    std::vector<std::uint32_t> dist_to_u;
+    std::vector<std::uint32_t> dist_from_v;
+    for (LinkId l : removed) {
+      const Link& link = topo_->link(l);
+      bfs_hops(link.src, /*reverse=*/true, banned, dist_to_u);
+      bfs_hops(link.dst, /*reverse=*/false, banned, dist_from_v);
+      for (std::size_t ai = 0; ai < H; ++ai) {
+        const std::uint32_t du = dist_to_u[hosts_[ai].value()];
+        if (du == kUnreachable) continue;
+        for (std::size_t bi = 0; bi < H; ++bi) {
+          if (bi == ai) continue;
+          const std::size_t slot = pair_slot(
+              static_cast<std::uint32_t>(ai), static_cast<std::uint32_t>(bi));
+          if (affected[slot] != 0) continue;
+          const std::uint32_t dv = dist_from_v[hosts_[bi].value()];
+          if (dv == kUnreachable) continue;
+          const auto& ids = table_[slot];
+          if (ids.size() < k_) {
+            // Starved or partitioned pair: the restored link may add paths.
+            affected[slot] = 1;
+            continue;
+          }
+          const std::size_t lb =
+              static_cast<std::size_t>(du) + 1 + static_cast<std::size_t>(dv);
+          if (lb <= pool_.path(ids.back()).hops()) affected[slot] = 1;
+        }
+      }
+    }
+  }
+
+  std::size_t recomputed = 0;
+  for (std::size_t slot = 0; slot < table_.size(); ++slot) {
+    if (affected[slot] == 0) continue;
+    recompute_pair(slot, banned);
+    ++recomputed;
+  }
+  counters_.pairs_reused += total_pairs - recomputed;
+}
+
+void RoutingGraph::recompute_pair(std::size_t slot,
+                                  const std::unordered_set<LinkId>& banned) {
+  const std::size_t H = hosts_.size();
+  const NodeId a = hosts_[slot / H];
+  const NodeId b = hosts_[slot % H];
+  std::vector<LinkId> touched;
+  auto found = k_shortest_paths(*topo_, a, b, k_, banned, &touched);
+  std::vector<PathId> ids;
+  ids.reserve(found.size());
+  for (Path& p : found) ids.push_back(pool_.intern(std::move(p)));
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  set_pair(slot, std::move(ids), std::move(touched));
+  ++counters_.pairs_recomputed;
+}
+
+void RoutingGraph::set_pair(std::size_t slot, std::vector<PathId> ids,
+                            std::vector<LinkId> touched) {
+  const std::vector<LinkId>& old_links = pair_links_[slot];
+  const auto slot32 = static_cast<std::uint32_t>(slot);
+  for (LinkId l : old_links) {
+    if (!std::binary_search(touched.begin(), touched.end(), l)) {
+      std::erase(link_pairs_[l.value()], slot32);
+    }
+  }
+  for (LinkId l : touched) {
+    if (!std::binary_search(old_links.begin(), old_links.end(), l)) {
+      link_pairs_[l.value()].push_back(slot32);
+    }
+  }
+  // Assigning in place keeps the inner vector object (and therefore any
+  // outstanding PathSet view of this pair) valid.
+  table_[slot] = std::move(ids);
+  pair_links_[slot] = std::move(touched);
+}
+
+void RoutingGraph::bfs_hops(NodeId origin, bool reverse,
+                            const std::unordered_set<LinkId>& banned,
+                            std::vector<std::uint32_t>& dist) const {
+  dist.assign(node_count_, kUnreachable);
+  std::vector<NodeId> queue;
+  queue.reserve(node_count_);
+  queue.push_back(origin);
+  dist[origin.value()] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    const std::uint32_t d = dist[u.value()];
+    const auto& links = reverse ? in_links_[u.value()] : topo_->out_links(u);
+    for (LinkId l : links) {
+      if (banned.contains(l)) continue;
+      const Link& link = topo_->link(l);
+      const NodeId next = reverse ? link.src : link.dst;
+      if (dist[next.value()] != kUnreachable) continue;
+      dist[next.value()] = d + 1;
+      queue.push_back(next);
     }
   }
 }
 
-const std::vector<Path>& RoutingGraph::paths(NodeId src_host,
-                                             NodeId dst_host) const {
-  const auto it = table_.find(key(src_host, dst_host));
-  return it == table_.end() ? empty_ : it->second;
+PathSet RoutingGraph::paths(NodeId src_host, NodeId dst_host) const {
+  const std::uint32_t a = host_slot(src_host);
+  const std::uint32_t b = host_slot(dst_host);
+  assert(a != kNotHost && b != kNotHost &&
+         "RoutingGraph::paths endpoints must be hosts of this topology");
+  if (a == kNotHost || b == kNotHost) {
+    static const std::vector<PathId> kNoIds;
+    return {&kNoIds, &pool_};
+  }
+  return {&table_[pair_slot(a, b)], &pool_};
+}
+
+bool RoutingGraph::is_host_pair(NodeId src_host, NodeId dst_host) const {
+  return host_slot(src_host) != kNotHost && host_slot(dst_host) != kNotHost;
+}
+
+bool RoutingGraph::has_paths(NodeId src_host, NodeId dst_host) const {
+  const std::uint32_t a = host_slot(src_host);
+  const std::uint32_t b = host_slot(dst_host);
+  if (a == kNotHost || b == kNotHost) return false;
+  return !table_[pair_slot(a, b)].empty();
+}
+
+std::size_t RoutingGraph::pairs_using(LinkId l) const {
+  assert(l.valid() && l.value() < link_pairs_.size());
+  return link_pairs_[l.value()].size();
 }
 
 }  // namespace pythia::net

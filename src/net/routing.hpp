@@ -1,9 +1,20 @@
 // Multi-path routing: hop-count Dijkstra, Yen's k-shortest paths, and the
 // RoutingGraph cache the controller keeps per host pair (paper §IV: computed
 // at startup, recomputed only on topology-change events — off the data path).
+//
+// Paths are interned in a PathPool: the graph stores PathId handles instead
+// of link-vector copies, a reverse index LinkId → {host pairs using it} lets
+// rebuild() recompute only the pairs a failed/restored link can affect, and
+// the control plane (controller/allocator) passes ids on the per-flow hot
+// path instead of copying/comparing link vectors.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iterator>
+#include <limits>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -32,39 +43,213 @@ std::optional<Path> shortest_path(
 
 /// Yen's algorithm: up to `k` loop-free shortest paths in nondecreasing
 /// hop-count order (deterministic ordering among equal-length paths).
-/// `banned_links` are excluded entirely (failed links).
+/// `banned_links` are excluded entirely (failed links). When
+/// `touched_links` is non-null, every link of every candidate path the run
+/// generated (chosen or not) is appended to it — the routing graph's
+/// incremental rebuild keys its reverse index on this union, because a
+/// banned link that appears only in an *unchosen* candidate can still flip
+/// the deterministic tie-break of a later spur computation.
 std::vector<Path> k_shortest_paths(
     const Topology& topo, NodeId src, NodeId dst, std::size_t k,
-    const std::unordered_set<LinkId>& banned_links = {});
+    const std::unordered_set<LinkId>& banned_links = {},
+    std::vector<LinkId>* touched_links = nullptr);
+
+/// Append-only intern table for paths. Interning the same link sequence
+/// twice yields the same PathId, and `path(id)` references are stable for
+/// the lifetime of the pool (deque storage never relocates elements), so the
+/// control plane can hold `const Path*` across rebuilds on one topology.
+class PathPool {
+ public:
+  PathId intern(Path path);
+
+  [[nodiscard]] const Path& path(PathId id) const {
+    assert(id.valid() && id.value() < paths_.size());
+    return paths_[id.value()];
+  }
+  [[nodiscard]] std::size_t size() const { return paths_.size(); }
+
+  /// Drops every interned path; outstanding ids become invalid. Only called
+  /// when the routing graph switches to a different topology.
+  void clear();
+
+ private:
+  std::deque<Path> paths_;
+  // Hash of the link sequence → pool ids with that hash (collisions resolved
+  // by full sequence equality in intern()).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_;
+};
+
+/// Non-owning view of one host pair's candidate paths: an id vector in the
+/// routing table plus the pool that resolves them. Indexing returns the
+/// interned `const Path&` (pool storage is stable), so existing callers that
+/// range-for over candidates and keep `&path` work unchanged. The view
+/// itself tracks the live table: after a rebuild it sees the new candidate
+/// set; call `materialize()` to snapshot instead.
+class PathSet {
+ public:
+  PathSet(const std::vector<PathId>* ids, const PathPool* pool)
+      : ids_(ids), pool_(pool) {}
+
+  [[nodiscard]] std::size_t size() const { return ids_->size(); }
+  [[nodiscard]] bool empty() const { return ids_->empty(); }
+  [[nodiscard]] const Path& operator[](std::size_t i) const {
+    return pool_->path((*ids_)[i]);
+  }
+  [[nodiscard]] PathId id(std::size_t i) const { return (*ids_)[i]; }
+  [[nodiscard]] const std::vector<PathId>& ids() const { return *ids_; }
+  [[nodiscard]] const PathPool& pool() const { return *pool_; }
+
+  /// Deep copy of the current candidates; survives later rebuilds that
+  /// shrink or reorder the live set.
+  [[nodiscard]] std::vector<Path> materialize() const;
+
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Path;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Path*;
+    using reference = const Path&;
+
+    const Path& operator*() const { return set_->operator[](i_); }
+    const Path* operator->() const { return &**this; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      auto copy = *this;
+      ++i_;
+      return copy;
+    }
+    friend bool operator==(const const_iterator&, const const_iterator&) =
+        default;
+
+   private:
+    friend class PathSet;
+    const_iterator(const PathSet* set, std::size_t i) : set_(set), i_(i) {}
+    const PathSet* set_;
+    std::size_t i_;
+  };
+
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, ids_->size()}; }
+
+ private:
+  const std::vector<PathId>* ids_;
+  const PathPool* pool_;
+};
+
+/// How rebuild() reacts to a banned-set change on an unchanged topology.
+enum class RebuildMode : std::uint8_t {
+  /// Recompute only host pairs a newly banned/restored link can affect
+  /// (reverse index + BFS hop bound); the default and byte-identical to
+  /// kFull — proven by the differential tests.
+  kIncremental,
+  /// Legacy behavior: re-run Yen for every host pair. Kept as the baseline
+  /// the differential tests and the routing_scaling bench compare against.
+  kFull,
+};
+
+/// Observability for rebuild work (the routing_scaling bench reports the
+/// recomputed/reused split per failure event).
+struct RoutingCounters {
+  std::uint64_t full_rebuilds = 0;
+  std::uint64_t incremental_rebuilds = 0;
+  std::uint64_t pairs_recomputed = 0;
+  std::uint64_t pairs_reused = 0;
+};
 
 /// Precomputed k-shortest paths for every host pair. The SDN topology
-/// service rebuilds it when the physical topology changes (link failure).
+/// service rebuilds it when the physical topology changes (link failure);
+/// incremental mode touches only affected pairs.
 class RoutingGraph {
  public:
   RoutingGraph(const Topology& topo, std::size_t k);
 
   /// Equal-candidate path set for an ordered host pair; non-empty for every
-  /// connected pair. Precondition: both are hosts in this topology.
-  [[nodiscard]] const std::vector<Path>& paths(NodeId src_host,
-                                               NodeId dst_host) const;
+  /// connected pair. Precondition: both are hosts in this topology (asserted
+  /// in debug; release returns an empty set — use has_paths()/is_host_pair()
+  /// to distinguish "partitioned" from "not a host").
+  [[nodiscard]] PathSet paths(NodeId src_host, NodeId dst_host) const;
+
+  /// True iff both nodes are hosts of the current topology (a valid key for
+  /// the table, whether or not it currently has candidates).
+  [[nodiscard]] bool is_host_pair(NodeId src_host, NodeId dst_host) const;
+
+  /// True iff the ordered pair is a host pair with at least one cached path
+  /// (false means partitioned — or not hosts at all; see is_host_pair()).
+  [[nodiscard]] bool has_paths(NodeId src_host, NodeId dst_host) const;
 
   [[nodiscard]] std::size_t k() const { return k_; }
   [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] const PathPool& pool() const { return pool_; }
+  [[nodiscard]] const RoutingCounters& counters() const { return counters_; }
 
-  /// Recomputes everything, excluding `banned_links` (failed links) from
+  /// Interns an externally built path (e.g. composed rack chains) into the
+  /// shared pool so the rest of the control plane can pass ids around.
+  PathId intern(Path path) { return pool_.intern(std::move(path)); }
+  [[nodiscard]] const Path& path(PathId id) const { return pool_.path(id); }
+
+  /// Number of ordered host pairs whose last Yen run *touched* `l` — i.e.
+  /// any generated candidate (chosen or not) traversed it. This is the set
+  /// an incremental rebuild recomputes when `l` fails; the bench uses it to
+  /// pick a worst-case victim link.
+  [[nodiscard]] std::size_t pairs_using(LinkId l) const;
+
+  /// Recomputes the table, excluding `banned_links` (failed links) from
   /// every path — the controller's topology-update service calls this on
-  /// link-failure/restore events.
+  /// link-failure/restore events. kIncremental recomputes only pairs the
+  /// banned-set delta can affect; a different/resized topology always forces
+  /// a full rebuild (and invalidates pool ids).
   void rebuild(const Topology& topo,
-               const std::unordered_set<LinkId>& banned_links = {});
+               const std::unordered_set<LinkId>& banned_links = {},
+               RebuildMode mode = RebuildMode::kIncremental);
 
  private:
-  [[nodiscard]] static std::uint64_t key(NodeId a, NodeId b) {
-    return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+  static constexpr std::uint32_t kNotHost =
+      std::numeric_limits<std::uint32_t>::max();
+
+  [[nodiscard]] std::uint32_t host_slot(NodeId n) const {
+    return n.value() < host_slot_.size() ? host_slot_[n.value()] : kNotHost;
   }
-  const Topology* topo_;
-  std::size_t k_;
-  std::unordered_map<std::uint64_t, std::vector<Path>> table_;
-  std::vector<Path> empty_;
+  [[nodiscard]] std::size_t pair_slot(std::uint32_t a, std::uint32_t b) const {
+    return static_cast<std::size_t>(a) * hosts_.size() + b;
+  }
+
+  void index_topology(const Topology& topo);
+  void rebuild_full(const std::unordered_set<LinkId>& banned);
+  void rebuild_incremental(const std::unordered_set<LinkId>& banned);
+  void recompute_pair(std::size_t slot,
+                      const std::unordered_set<LinkId>& banned);
+  /// Replaces a pair's candidates and touched-link union, updating the
+  /// link → pairs reverse index by diffing old and new unions. `touched`
+  /// must be sorted and deduplicated.
+  void set_pair(std::size_t slot, std::vector<PathId> ids,
+                std::vector<LinkId> touched);
+  /// Hop-count BFS from `origin` over non-banned links; `reverse` walks
+  /// links backwards (distance *to* origin). Fills `dist` (kUnreachable for
+  /// disconnected nodes).
+  void bfs_hops(NodeId origin, bool reverse,
+                const std::unordered_set<LinkId>& banned,
+                std::vector<std::uint32_t>& dist) const;
+
+  const Topology* topo_ = nullptr;
+  std::size_t k_ = 0;
+  PathPool pool_;
+  std::vector<NodeId> hosts_;
+  std::vector<std::uint32_t> host_slot_;  // node id → host index or kNotHost
+  // Dense table: slot = host_slot(src) * H + host_slot(dst).
+  std::vector<std::vector<PathId>> table_;
+  // Per-slot sorted union of links touched by the pair's last Yen run.
+  std::vector<std::vector<LinkId>> pair_links_;
+  // Reverse index: link id → slots whose last Yen run touched it.
+  std::vector<std::vector<std::uint32_t>> link_pairs_;
+  std::vector<std::vector<LinkId>> in_links_;  // reverse adjacency for BFS
+  std::unordered_set<LinkId> banned_;          // banned set of last rebuild
+  std::size_t node_count_ = 0;
+  std::size_t link_count_ = 0;
+  RoutingCounters counters_;
 };
 
 }  // namespace pythia::net

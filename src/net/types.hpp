@@ -30,6 +30,9 @@ using NodeId = Id<struct NodeTag>;
 using LinkId = Id<struct LinkTag>;
 using FlowId = Id<struct FlowTag>;
 using CbrId = Id<struct CbrTag>;
+/// Index into a PathPool (net/routing.hpp); interned paths are immutable and
+/// ids stay valid across routing-graph rebuilds on the same topology.
+using PathId = Id<struct PathTag>;
 
 /// Classic 5-tuple; ECMP hashes it, Pythia cannot know dst_port in advance
 /// (paper §IV) which is why it aggregates at server granularity instead.

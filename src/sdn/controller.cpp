@@ -73,7 +73,7 @@ const net::Path& Controller::resolve(net::NodeId src_host,
                                      net::NodeId dst_host,
                                      const net::FiveTuple& tuple) const {
   if (const PathRule* rule = active_rule(src_host, dst_host)) {
-    return rule->path;
+    return *rule->path;
   }
   if (const net::Path* rack = compose_rack_path(src_host, dst_host)) {
     return *rack;
@@ -185,7 +185,7 @@ std::uint64_t Controller::switch_hops(const net::Path& path) const {
 }
 
 Controller::RuleMap::iterator Controller::erase_rule(RuleMap::iterator it) {
-  for (net::LinkId l : it->second.rule.path.links) {
+  for (net::LinkId l : it->second.rule.path->links) {
     const net::NodeId sw = topo_->link(l).src;
     if (topo_->node(sw).kind != net::NodeKind::kSwitch) continue;
     const auto occ = table_occupancy_.find(sw.value());
@@ -210,7 +210,7 @@ bool Controller::admit_to_tables(const net::Path& path,
       // only if the newcomer is strictly larger; otherwise refuse it.
       auto victim = rules_.end();
       for (auto it = rules_.begin(); it != rules_.end(); ++it) {
-        const auto& links = it->second.rule.path.links;
+        const auto& links = it->second.rule.path->links;
         const bool occupies =
             std::any_of(links.begin(), links.end(), [&](net::LinkId rl) {
               return topo_->link(rl).src == sw;
@@ -236,6 +236,17 @@ bool Controller::admit_to_tables(const net::Path& path,
 
 bool Controller::install_path(net::NodeId src_host, net::NodeId dst_host,
                               net::Path path, util::Bytes volume_hint) {
+  // Interning is idempotent: a path already known to the pool (the common
+  // case — candidates come from the routing table) resolves to its id
+  // without copying.
+  return install_path_id(src_host, dst_host, routing_.intern(std::move(path)),
+                         volume_hint);
+}
+
+bool Controller::install_path_id(net::NodeId src_host, net::NodeId dst_host,
+                                 net::PathId path_id,
+                                 util::Bytes volume_hint) {
+  const net::Path& path = routing_.path(path_id);
   assert(topo_->validate_path(src_host, dst_host, path.links));
   // Refuse rules over failed links: the requester is working from stale
   // state; traffic stays on ECMP over the rebuilt routing graph instead.
@@ -253,12 +264,12 @@ bool Controller::install_path(net::NodeId src_host, net::NodeId dst_host,
   if (!admit_to_tables(path, volume_hint)) return false;
 
   PendingRule pending;
-  pending.rule = PathRule{src_host, dst_host, std::move(path), now,
+  pending.rule = PathRule{src_host, dst_host, path_id, &path, now,
                           now + cfg_.rule_install_latency};
   pending.active = false;
   pending.volume_hint = volume_hint;
   pending.epoch = ++install_epoch_;
-  for (net::LinkId l : pending.rule.path.links) {
+  for (net::LinkId l : path.links) {
     const net::NodeId sw = topo_->link(l).src;
     if (topo_->node(sw).kind == net::NodeKind::kSwitch) {
       ++table_occupancy_[sw.value()];
@@ -286,7 +297,7 @@ void Controller::attempt_install(std::uint64_t key) {
   }
 
   // One flow-mod per switch hop, re-sent on every attempt.
-  flow_mods_ += std::max<std::uint64_t>(switch_hops(pending.rule.path), 1);
+  flow_mods_ += std::max<std::uint64_t>(switch_hops(*pending.rule.path), 1);
   flow_mod_channel_.send([this, key, epoch, attempt] {
     auto cur = rules_.find(key);
     if (cur == rules_.end() || cur->second.epoch != epoch ||
@@ -352,7 +363,7 @@ std::size_t Controller::clear_host_rules() {
       if (f.spec.cls != net::FlowClass::kShuffle) continue;
       const auto it = rules_.find(pair_key(f.spec.src, f.spec.dst));
       if (it == rules_.end() || !it->second.active) continue;
-      if (f.spec.path != it->second.rule.path.links) continue;
+      if (f.spec.path != it->second.rule.path->links) continue;
       const net::Path& p = ecmp_.select(f.spec.src, f.spec.dst, f.spec.tuple);
       if (f.spec.path != p.links) fabric_->reroute_flow(fid, p.links);
     }
@@ -377,8 +388,8 @@ void Controller::activate_rule(std::uint64_t key, std::uint64_t epoch) {
       if (f.spec.src == pending.rule.src_host &&
           f.spec.dst == pending.rule.dst_host &&
           f.spec.cls == net::FlowClass::kShuffle &&
-          f.spec.path != pending.rule.path.links) {
-        fabric_->reroute_flow(fid, pending.rule.path.links);
+          f.spec.path != pending.rule.path->links) {
+        fabric_->reroute_flow(fid, pending.rule.path->links);
       }
     }
   }
@@ -424,7 +435,7 @@ void Controller::handle_link_failure(net::LinkId l) {
   // dead link; traffic falls back to ECMP over the rebuilt path set until an
   // app reinstalls.
   for (auto it = rules_.begin(); it != rules_.end();) {
-    const auto& path = it->second.rule.path.links;
+    const auto& path = it->second.rule.path->links;
     const bool dead = std::any_of(path.begin(), path.end(),
                                   [this](net::LinkId pl) {
                                     return failed_links_.contains(pl);

@@ -64,10 +64,14 @@ struct ControllerConfig {
 
 /// A forwarding rule for a host-pair aggregate (the paper aggregates at
 /// server granularity because shuffle dst ports are unknowable in advance).
+/// The path is interned in the controller's routing pool: rules carry an id
+/// plus a stable pointer instead of a link-vector copy, so rule bookkeeping
+/// compares ids on the hot path.
 struct PathRule {
   net::NodeId src_host;
   net::NodeId dst_host;
-  net::Path path;
+  net::PathId path_id;
+  const net::Path* path = nullptr;  // pool storage, stable across rebuilds
   util::SimTime requested_at;
   util::SimTime active_at;  // requested_at + install latency
 };
@@ -126,6 +130,23 @@ class Controller {
   /// means the install is in flight; it can still fail asynchronously.
   bool install_path(net::NodeId src_host, net::NodeId dst_host, net::Path path,
                     util::Bytes volume_hint = util::Bytes::zero());
+
+  /// Id-based install: the fast path for callers that already hold an
+  /// interned path (allocator, Hedera, ECMP-derived ids). Identical
+  /// semantics to the Path overload.
+  bool install_path_id(net::NodeId src_host, net::NodeId dst_host,
+                       net::PathId path_id,
+                       util::Bytes volume_hint = util::Bytes::zero());
+
+  /// Interns an externally composed path (e.g. a rack chain with access
+  /// links) into the routing pool so it can be passed by id.
+  [[nodiscard]] net::PathId intern_path(net::Path path) {
+    return routing_.intern(std::move(path));
+  }
+  /// Resolves an interned id to its path (stable reference).
+  [[nodiscard]] const net::Path& path(net::PathId id) const {
+    return routing_.path(id);
+  }
 
   /// Active rule for a pair, if any (inactive pending rules not returned).
   [[nodiscard]] const PathRule* active_rule(net::NodeId src_host,

@@ -84,16 +84,17 @@ void HederaApp::run_round() {
 
   for (net::FlowId fid : elephants) {
     const net::Flow& f = fabric.flow(fid);
-    const auto& candidates =
+    const auto candidates =
         controller_->routing().paths(f.spec.src, f.spec.dst);
     if (candidates.size() < 2) continue;
     // Pick the path with the most snapshot-available bandwidth, discounting
     // the elephant's own current contribution (otherwise a rehomed flow
     // saturates its new path and the next round bounces it back). Hedera has
     // no flow-size knowledge, only the load snapshot.
-    const net::Path* best = nullptr;
+    net::PathId best;
     double best_avail = -1.0;
-    for (const auto& p : candidates) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const net::Path& p = candidates[i];
       double avail = std::numeric_limits<double>::infinity();
       for (net::LinkId l : p.links) {
         const bool own = std::find(f.spec.path.begin(), f.spec.path.end(),
@@ -105,11 +106,11 @@ void HederaApp::run_round() {
       }
       if (avail > best_avail) {
         best_avail = avail;
-        best = &p;
+        best = candidates.id(i);
       }
     }
-    if (best != nullptr && best->links != f.spec.path) {
-      controller_->install_path(f.spec.src, f.spec.dst, *best);
+    if (best.valid() && controller_->path(best).links != f.spec.path) {
+      controller_->install_path_id(f.spec.src, f.spec.dst, best);
       ++rerouted_;
       PYTHIA_LOG(kDebug, "hedera")
           << "rerouting elephant flow " << fid.value();

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -12,6 +13,9 @@ void EventHandle::cancel() {
     assert(*state_->live > 0);
     --*state_->live;
   }
+  if (state_->cancelled_in_heap != nullptr) {
+    ++*state_->cancelled_in_heap;
+  }
 }
 
 bool EventHandle::cancelled() const { return state_ && state_->cancelled; }
@@ -20,20 +24,26 @@ EventHandle EventQueue::schedule(util::SimTime at, EventFn fn) {
   assert(at >= now_ && "cannot schedule into the past");
   auto state = std::make_shared<EventHandle::State>();
   state->live = &live_;
-  heap_.push(Entry{at, next_seq_++, std::move(fn), state});
+  state->cancelled_in_heap = &cancelled_in_heap_;
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn), state});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
+  // Cancel itself is O(1) and has no access to the heap, so garbage is
+  // collected at the next schedule/pop touch point.
+  maybe_compact();
   return EventHandle{std::move(state)};
 }
 
 bool EventQueue::run_one() {
   while (!heap_.empty()) {
-    // priority_queue::top() is const; the Entry must be moved out via a
-    // const_cast-free copy of the cheap fields and a move of the callable.
-    Entry entry{heap_.top().at, heap_.top().seq,
-                std::move(const_cast<Entry&>(heap_.top()).fn),
-                heap_.top().state};
-    heap_.pop();
-    if (entry.state->cancelled) continue;  // live_ already decremented
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    if (entry.state->cancelled) {  // live_ already decremented by cancel()
+      assert(cancelled_in_heap_ > 0);
+      --cancelled_in_heap_;
+      continue;
+    }
     entry.state->fired = true;
     --live_;
     assert(entry.at >= now_);
@@ -54,13 +64,30 @@ std::size_t EventQueue::run_all(std::size_t limit) {
 std::size_t EventQueue::run_until(util::SimTime until) {
   std::size_t n = 0;
   while (!heap_.empty()) {
-    // Skim cancelled entries so top() reflects the next real event.
-    while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
-    if (heap_.empty() || heap_.top().at > until) break;
+    // Skim cancelled entries so the heap top reflects the next real event.
+    while (!heap_.empty() && heap_.front().state->cancelled) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+      assert(cancelled_in_heap_ > 0);
+      --cancelled_in_heap_;
+    }
+    if (heap_.empty() || heap_.front().at > until) break;
     if (run_one()) ++n;
   }
   if (now_ < until) now_ = until;
   return n;
+}
+
+void EventQueue::maybe_compact() {
+  if (cancelled_in_heap_ < kCompactFloor ||
+      cancelled_in_heap_ * 2 <= heap_.size()) {
+    return;
+  }
+  std::erase_if(heap_, [](const Entry& e) { return e.state->cancelled; });
+  // (time, seq) is a total order over entries, so rebuilding the heap cannot
+  // change the order in which the remaining events fire.
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_in_heap_ = 0;
 }
 
 }  // namespace pythia::sim

@@ -4,13 +4,15 @@
 // fire in deterministic FIFO order — a hard requirement for reproducible
 // experiments. Cancellation is lazy: a cancelled event stays in the heap but
 // is skipped on pop, which keeps cancel O(1) (the fluid network model cancels
-// its pending flow-completion event on every recompute).
+// its pending flow-completion event on every recompute). To bound memory
+// under that churn, the heap is compacted — cancelled entries erased and the
+// heap rebuilt — once they outnumber live ones (and exceed a small floor);
+// (time, seq) is a total order, so rebuilding cannot perturb firing order.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "util/time.hpp"
@@ -35,7 +37,8 @@ class EventHandle {
   struct State {
     bool cancelled = false;
     bool fired = false;
-    std::size_t* live = nullptr;  // queue's live-event counter
+    std::size_t* live = nullptr;       // queue's live-event counter
+    std::size_t* cancelled_in_heap = nullptr;  // queue's garbage counter
   };
   explicit EventHandle(std::shared_ptr<State> state)
       : state_(std::move(state)) {}
@@ -73,6 +76,9 @@ class EventQueue {
   /// Number of scheduled, not-yet-fired, not-cancelled events.
   [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+  /// Physical heap size including not-yet-compacted cancelled entries; the
+  /// compaction test asserts this stays bounded under cancel churn.
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
 
  private:
   struct Entry {
@@ -88,11 +94,19 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Don't bother compacting tiny heaps.
+  static constexpr std::size_t kCompactFloor = 64;
+
+  void maybe_compact();
+
+  // Raw vector + std::push_heap/pop_heap (rather than std::priority_queue)
+  // so compaction can erase_if + make_heap in place.
+  std::vector<Entry> heap_;
   util::SimTime now_ = util::SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
   std::size_t live_ = 0;
+  std::size_t cancelled_in_heap_ = 0;
 };
 
 }  // namespace pythia::sim

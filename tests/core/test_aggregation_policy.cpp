@@ -147,7 +147,7 @@ TEST(Criticality, HotDestinationAllocatedFirst) {
   const auto* first_rule = cluster.controller->active_rule(hosts[0], hosts[9]);
   ASSERT_NE(hot_rule, nullptr);
   ASSERT_NE(first_rule, nullptr);
-  EXPECT_NE(hot_rule->path.links[1], first_rule->path.links[1]);
+  EXPECT_NE(hot_rule->path->links[1], first_rule->path->links[1]);
 }
 
 TEST(Criticality, CanBeDisabled) {

@@ -47,7 +47,7 @@ TEST(Allocator, AvoidsBackgroundLoadedPath) {
   const auto* rule = f.controller.active_rule(f.s0, f.d0);
   ASSERT_NE(rule, nullptr);
   const auto& paths = f.controller.routing().paths(f.s0, f.d0);
-  EXPECT_EQ(rule->path.links, paths[1].links);
+  EXPECT_EQ(rule->path->links, paths[1].links);
   EXPECT_EQ(alloc.allocations(), 1u);
 }
 
@@ -66,15 +66,13 @@ TEST(Allocator, PacksSecondAggregateAwayFromFirst) {
   ASSERT_NE(r0, nullptr);
   ASSERT_NE(r1, nullptr);
   // Compare the inter-rack segment (middle hops differ iff paths differ).
-  EXPECT_NE(r0->path.links[1], r1->path.links[1]);
+  EXPECT_NE(r0->path->links[1], r1->path->links[1]);
 }
 
 TEST(Allocator, LinkOutstandingBookkeeping) {
   Fixture f;
   Allocator alloc(f.controller);
   alloc.add_predicted_volume(f.s0, f.d0, Bytes{500});
-  const auto* agg_rule_path = &f.controller.routing().paths(f.s0, f.d0);
-  (void)agg_rule_path;
   EXPECT_EQ(alloc.pair_outstanding(f.s0, f.d0).count(), 500);
 
   // Outstanding shows up on every link of the chosen path.
@@ -115,7 +113,7 @@ TEST(Allocator, DrainedAggregateReallocatesAgainstNewState) {
   // Background then floods P; the drained aggregate's next wave must move.
   const auto& paths = f.controller.routing().paths(f.s0, f.d0);
   const std::size_t loaded =
-      first.links == paths[0].links ? 0 : 1;
+      first->links == paths[0].links ? 0 : 1;
   f.load_path(loaded, 9.9e9);
   // Advance time so the controller's load snapshot refreshes.
   f.sim.after(util::Duration::seconds_i(2), [] {});
@@ -124,7 +122,7 @@ TEST(Allocator, DrainedAggregateReallocatesAgainstNewState) {
   alloc.add_predicted_volume(f.s0, f.d0, Bytes{1'000'000});
   f.sim.run();
   const auto second = f.controller.active_rule(f.s0, f.d0)->path;
-  EXPECT_NE(first.links, second.links);
+  EXPECT_NE(first->links, second->links);
   EXPECT_GE(alloc.reallocations(), 1u);
 }
 
@@ -143,7 +141,7 @@ TEST(Allocator, LoadBlindModeIgnoresBackground) {
   const auto* rule = f.controller.active_rule(f.s0, f.d0);
   ASSERT_NE(rule, nullptr);
   const auto& paths = f.controller.routing().paths(f.s0, f.d0);
-  EXPECT_EQ(rule->path.links, paths[0].links);
+  EXPECT_EQ(rule->path->links, paths[0].links);
 }
 
 TEST(Allocator, RackModeSameRackPairFallsBackToServerInstall) {
@@ -161,7 +159,7 @@ TEST(Allocator, RackModeSameRackPairFallsBackToServerInstall) {
   EXPECT_EQ(f.controller.active_rack_chain(0, 0), nullptr);
   const auto* rule = f.controller.active_rule(f.s0, f.s1);
   ASSERT_NE(rule, nullptr);
-  EXPECT_EQ(rule->path.links.size(), 2u);  // host→ToR→host, nothing stripped
+  EXPECT_EQ(rule->path->links.size(), 2u);  // host→ToR→host, nothing stripped
 
   // Cross-rack pairs still aggregate to one rule per rack pair.
   alloc.add_predicted_volume(f.s0, f.d0, Bytes{1'000'000});
@@ -193,7 +191,7 @@ TEST(Allocator, GrowingAggregateKeepsItsPath) {
   // More volume while still outstanding: first-fit sticks to the path.
   alloc.add_predicted_volume(f.s0, f.d0, Bytes{2'000'000});
   f.sim.run();
-  EXPECT_EQ(f.controller.active_rule(f.s0, f.d0)->path.links, first.links);
+  EXPECT_EQ(f.controller.active_rule(f.s0, f.d0)->path->links, first->links);
   EXPECT_EQ(alloc.pair_outstanding(f.s0, f.d0).count(), 3'000'000);
   EXPECT_EQ(alloc.reallocations(), 0u);
 }

@@ -151,6 +151,119 @@ TEST(RoutingGraph, PrecomputesAllHostPairs) {
   EXPECT_EQ(rg.k(), 2u);
 }
 
+TEST(PathPool, InternDeduplicatesAndKeepsReferencesStable) {
+  const Topology topo = diamond();
+  const auto hosts = topo.hosts();
+  const auto paths = k_shortest_paths(topo, hosts[0], hosts[1], 4);
+  ASSERT_EQ(paths.size(), 2u);
+
+  PathPool pool;
+  const PathId a = pool.intern(paths[0]);
+  const PathId b = pool.intern(paths[1]);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.size(), 2u);
+  // Interning the same link sequence again returns the same id.
+  EXPECT_EQ(pool.intern(paths[0]), a);
+  EXPECT_EQ(pool.intern(paths[1]), b);
+  EXPECT_EQ(pool.size(), 2u);
+
+  // References stay valid as the pool grows (deque storage).
+  const Path* first = &pool.path(a);
+  for (int i = 0; i < 1000; ++i) {
+    Path p;
+    p.links.push_back(LinkId{static_cast<std::uint32_t>(i + 100)});
+    pool.intern(std::move(p));
+  }
+  EXPECT_EQ(first, &pool.path(a));
+  EXPECT_EQ(pool.path(a).links, paths[0].links);
+}
+
+TEST(RoutingGraph, HasPathsAndHostPairQueries) {
+  const Topology topo = make_two_rack({});
+  const RoutingGraph rg(topo, 2);
+  const auto hosts = topo.hosts();
+  const auto switches = topo.switches();
+
+  EXPECT_TRUE(rg.is_host_pair(hosts[0], hosts[9]));
+  EXPECT_TRUE(rg.has_paths(hosts[0], hosts[9]));
+  // Switches are not hosts: no precomputed entry exists.
+  EXPECT_FALSE(rg.is_host_pair(hosts[0], switches[0]));
+  EXPECT_FALSE(rg.has_paths(hosts[0], switches[0]));
+  EXPECT_FALSE(rg.is_host_pair(switches[0], switches[1]));
+  // The diagonal is a valid host pair with no paths computed for it.
+  EXPECT_TRUE(rg.is_host_pair(hosts[0], hosts[0]));
+  EXPECT_FALSE(rg.has_paths(hosts[0], hosts[0]));
+}
+
+TEST(RoutingGraph, PathsOnUnknownPairDiesInDebug) {
+  const Topology topo = make_two_rack({});
+  const RoutingGraph rg(topo, 2);
+  const auto hosts = topo.hosts();
+  const auto switches = topo.switches();
+#ifndef NDEBUG
+  EXPECT_DEATH((void)rg.paths(hosts[0], switches[0]), "must be hosts");
+#else
+  EXPECT_TRUE(rg.paths(hosts[0], switches[0]).empty());
+#endif
+}
+
+TEST(RoutingGraph, IncrementalMatchesFullOnBanAndRestore) {
+  TwoRackConfig cfg;
+  cfg.inter_rack_links = 3;
+  const Topology topo = make_two_rack(cfg);
+  RoutingGraph inc(topo, 4);
+  RoutingGraph full(topo, 4);
+  const auto hosts = topo.hosts();
+
+  // Ban one inter-rack cable, then a second, then restore both.
+  const LinkId victim = inc.paths(hosts[0], hosts[9])[0].links[1];
+  const LinkId second = inc.paths(hosts[0], hosts[9])[1].links[1];
+  const std::vector<std::unordered_set<LinkId>> steps = {
+      {victim}, {victim, second}, {second}, {}};
+  for (const auto& banned : steps) {
+    inc.rebuild(topo, banned, RebuildMode::kIncremental);
+    full.rebuild(topo, banned, RebuildMode::kFull);
+    for (NodeId a : hosts) {
+      for (NodeId b : hosts) {
+        if (a == b) continue;
+        const auto pi = inc.paths(a, b);
+        const auto pf = full.paths(a, b);
+        ASSERT_EQ(pi.size(), pf.size());
+        for (std::size_t i = 0; i < pi.size(); ++i) {
+          EXPECT_EQ(pi[i].links, pf[i].links);
+        }
+      }
+    }
+  }
+  // The incremental graph actually took the fast path and reused work.
+  EXPECT_EQ(inc.counters().incremental_rebuilds, steps.size());
+  EXPECT_EQ(full.counters().incremental_rebuilds, 0u);
+  EXPECT_GT(inc.counters().pairs_reused, 0u);
+}
+
+TEST(RoutingGraph, IncrementalNoopRebuildRecomputesNothing) {
+  const Topology topo = make_two_rack({});
+  RoutingGraph rg(topo, 2);
+  const auto before = rg.counters();
+  rg.rebuild(topo);  // same topology, same (empty) ban set
+  const auto after = rg.counters();
+  EXPECT_EQ(after.pairs_recomputed, before.pairs_recomputed);
+  EXPECT_EQ(after.incremental_rebuilds, before.incremental_rebuilds + 1);
+}
+
+TEST(RoutingGraph, PairsUsingReverseIndex) {
+  const Topology topo = make_two_rack({});
+  const RoutingGraph rg(topo, 2);
+  const auto hosts = topo.hosts();
+  // Links are directional: a rack0->rack1 cable is in the candidate set of
+  // every rack0->rack1 pair (both cables, since k=2 enumerates both), while
+  // host 0's outbound access link is touched only by pairs sourced there.
+  const LinkId cable = rg.paths(hosts[0], hosts[9])[0].links[1];
+  const LinkId access = rg.paths(hosts[0], hosts[9])[0].links[0];
+  EXPECT_EQ(rg.pairs_using(cable), 25u);  // 5 x 5 rack0 -> rack1 pairs
+  EXPECT_EQ(rg.pairs_using(access), 9u);  // host0 -> each other host
+}
+
 TEST(RoutingGraph, RebuildAfterTopologyChange) {
   TwoRackConfig cfg;
   const Topology before = make_two_rack(cfg);

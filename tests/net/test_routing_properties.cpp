@@ -109,7 +109,43 @@ TEST_P(RoutingVsBruteForce, KShortestMatchesEnumeration) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RoutingVsBruteForce,
-                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+/// Small-world variant: <= 8 nodes but denser wiring, where Yen's spur
+/// bookkeeping (shared banned scratch set, hashed dedup) sees the most
+/// duplicate candidates per spur.
+class DenseSmallGraphs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DenseSmallGraphs, KShortestMatchesEnumeration) {
+  util::Xoshiro256 rng(GetParam());
+  // 3 hosts + 5 switches = 8 nodes; ring + 6 chords approaches a clique.
+  const Topology topo = random_topology(rng, 3, 5, 6);
+  const auto hosts = topo.hosts();
+
+  for (NodeId src : hosts) {
+    for (NodeId dst : hosts) {
+      if (src == dst) continue;
+      auto all = enumerate_paths(topo, src, dst);
+      std::sort(all.begin(), all.end(), [](const Path& a, const Path& b) {
+        return a.hops() < b.hops();
+      });
+      for (const std::size_t k : {1UL, 3UL, 8UL, 64UL}) {
+        const auto got = k_shortest_paths(topo, src, dst, k);
+        ASSERT_EQ(got.size(), std::min(k, all.size()))
+            << src.value() << "->" << dst.value() << " k=" << k;
+        std::set<std::vector<LinkId>> seen;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          EXPECT_TRUE(topo.validate_path(src, dst, got[i].links));
+          EXPECT_TRUE(seen.insert(got[i].links).second);
+          EXPECT_EQ(got[i].hops(), all[i].hops());
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DenseSmallGraphs,
+                         ::testing::Range<std::uint64_t>(100, 116));
 
 TEST(RoutingDeterminism, IdenticalAcrossRuns) {
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {

@@ -60,7 +60,7 @@ TEST(Controller, RuleInstallHasLatency) {
   f.sim.run_until(util::SimTime::from_seconds(0.005));
   const PathRule* rule = ctl.active_rule(f.src, f.dst);
   ASSERT_NE(rule, nullptr);
-  EXPECT_EQ(rule->path.links, paths[1].links);
+  EXPECT_EQ(rule->path->links, paths[1].links);
 
   // Resolve now returns the rule's path regardless of the hash.
   for (std::uint16_t port = 0; port < 32; ++port) {
@@ -99,7 +99,7 @@ TEST(Controller, ReinstallSupersedesPending) {
   f.sim.run();
   const PathRule* rule = ctl.active_rule(f.src, f.dst);
   ASSERT_NE(rule, nullptr);
-  EXPECT_EQ(rule->path.links, paths[1].links);
+  EXPECT_EQ(rule->path->links, paths[1].links);
   EXPECT_EQ(ctl.rules_installed(), 2u);
 }
 

@@ -37,7 +37,7 @@ struct Fixture {
 
 TEST(Failover, RoutingGraphDropsFailedPath) {
   Fixture f;
-  const auto paths = f.controller.routing().paths(f.src, f.dst);
+  const auto paths = f.controller.routing().paths(f.src, f.dst).materialize();
   ASSERT_EQ(paths.size(), 2u);
   const LinkId inter0 = paths[0].links[1];
 
@@ -53,7 +53,7 @@ TEST(Failover, RoutingGraphDropsFailedPath) {
 
 TEST(Failover, RulesOnFailedPathArePurged) {
   Fixture f;
-  const auto paths = f.controller.routing().paths(f.src, f.dst);
+  const auto paths = f.controller.routing().paths(f.src, f.dst).materialize();
   f.controller.install_path(f.src, f.dst, paths[0]);
   f.sim.run();
   ASSERT_NE(f.controller.active_rule(f.src, f.dst), nullptr);
@@ -68,7 +68,7 @@ TEST(Failover, RulesOnFailedPathArePurged) {
 
 TEST(Failover, StrandedFlowsAreReroutedAndComplete) {
   Fixture f;
-  const auto paths = f.controller.routing().paths(f.src, f.dst);
+  const auto paths = f.controller.routing().paths(f.src, f.dst).materialize();
   FlowSpec spec;
   spec.src = f.src;
   spec.dst = f.dst;
@@ -91,7 +91,7 @@ TEST(Failover, StrandedFlowsAreReroutedAndComplete) {
 
 TEST(Failover, RulesSurviveUnrelatedFailure) {
   Fixture f;
-  const auto paths = f.controller.routing().paths(f.src, f.dst);
+  const auto paths = f.controller.routing().paths(f.src, f.dst).materialize();
   f.controller.install_path(f.src, f.dst, paths[1]);
   f.sim.run();
   f.controller.handle_link_failure(paths[0].links[1]);
@@ -101,7 +101,7 @@ TEST(Failover, RulesSurviveUnrelatedFailure) {
 TEST(Failover, SwitchFailureKillsAllItsPaths) {
   Fixture f;
   // Fail one of the two "wire" switches carrying an inter-rack cable.
-  const auto paths = f.controller.routing().paths(f.src, f.dst);
+  const auto paths = f.controller.routing().paths(f.src, f.dst).materialize();
   const net::NodeId wire = f.topo.link(paths[0].links[1]).dst;
   ASSERT_EQ(f.topo.node(wire).kind, net::NodeKind::kSwitch);
 
@@ -120,7 +120,7 @@ TEST(Failover, SwitchFailureKillsAllItsPaths) {
 
 TEST(Failover, InstallOverFailedLinkIsRefused) {
   Fixture f;
-  const auto paths = f.controller.routing().paths(f.src, f.dst);
+  const auto paths = f.controller.routing().paths(f.src, f.dst).materialize();
   f.controller.handle_link_failure(paths[0].links[1]);
   // A stale scheduler asks for the dead path: the controller must refuse.
   f.controller.install_path(f.src, f.dst, paths[0]);
@@ -131,7 +131,7 @@ TEST(Failover, InstallOverFailedLinkIsRefused) {
 
 TEST(Failover, SwitchDeathPurgesRulesThroughIt) {
   Fixture f;
-  const auto paths = f.controller.routing().paths(f.src, f.dst);
+  const auto paths = f.controller.routing().paths(f.src, f.dst).materialize();
   // One rule over each inter-rack wire switch; killing one switch must purge
   // exactly the rule whose path traverses it.
   const net::NodeId host2 = f.topo.hosts()[1];

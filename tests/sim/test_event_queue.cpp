@@ -128,6 +128,53 @@ TEST(EventQueue, RunAllLimit) {
   EXPECT_EQ(q.pending(), 6u);
 }
 
+TEST(EventQueue, CancelChurnBoundsHeap) {
+  // The fluid model's recompute loop schedules a completion event and then
+  // cancels it moments later, millions of times per run. Lazy cancellation
+  // must not let the heap grow without bound: once cancelled entries
+  // outnumber live ones the queue compacts. With one live event per
+  // iteration the heap must stay within a small constant of the floor.
+  EventQueue q;
+  EventHandle pending;
+  for (int i = 0; i < 100'000; ++i) {
+    pending.cancel();
+    pending = q.schedule(SimTime::from_seconds(1.0 + 1e-6 * i), [] {});
+    EXPECT_LE(q.pending(), 1u);
+    ASSERT_LT(q.heap_size(), 200u) << "at iteration " << i;
+  }
+  // The survivor still fires exactly once, in order, after all that churn.
+  EXPECT_EQ(q.run_all(), 1u);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CompactionPreservesFiringOrder) {
+  // Force several compactions while a mix of live and cancelled events with
+  // duplicate timestamps is in flight; survivors must still fire in
+  // (time, insertion) order.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 500; ++i) {
+    const auto t = SimTime::from_seconds(1.0 + (i % 7));
+    q.schedule(t, [&order, i] { order.push_back(i); });
+    for (int j = 0; j < 4; ++j) {
+      doomed.push_back(q.schedule(t, [] { ADD_FAILURE(); }));
+    }
+    if (doomed.size() > 300) {
+      for (auto& h : doomed) h.cancel();
+      doomed.clear();
+    }
+  }
+  for (auto& h : doomed) h.cancel();
+  EXPECT_EQ(q.run_all(), 500u);
+  // Same timestamp bucket -> FIFO by insertion; across buckets -> by time.
+  std::vector<int> expect;
+  for (int bucket = 0; bucket < 7; ++bucket) {
+    for (int i = bucket; i < 500; i += 7) expect.push_back(i);
+  }
+  EXPECT_EQ(order, expect);
+}
+
 TEST(EventQueue, CountsFired) {
   EventQueue q;
   q.schedule(SimTime::from_seconds(1.0), [] {});
