@@ -163,6 +163,8 @@ void Allocator::add_predicted_volume(net::NodeId src_server,
 void Allocator::suspend() {
   if (suspended_) return;
   suspended_ = true;
+  // pythia-lint: allow(unordered-iter) independent per-entry flag clear;
+  // visit order cannot affect the resulting state
   for (auto& [_, agg] : aggregates_) agg.installed = false;
   std::fill(link_outstanding_.begin(), link_outstanding_.end(), 0);
 }
@@ -173,6 +175,8 @@ void Allocator::resume() {
   // Re-allocate every live aggregate, largest first (the same FFD order the
   // collector uses), against the network as it looks right now.
   std::vector<std::pair<std::uint64_t, Aggregate*>> live;
+  // pythia-lint: allow(unordered-iter) collection only; `live` is sorted
+  // just below with a total-order key tie-break before any allocation
   for (auto& [key, agg] : aggregates_) {
     if (agg.outstanding > 0) live.emplace_back(key, &agg);
   }

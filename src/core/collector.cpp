@@ -168,6 +168,8 @@ util::Bytes Collector::destination_outstanding(net::NodeId dst) const {
 util::Bytes Collector::mean_destination_outstanding() const {
   std::int64_t total = 0;
   std::int64_t live = 0;
+  // pythia-lint: allow(unordered-iter) commutative integer sum/count over
+  // all entries; order-insensitive by construction
   for (const auto& [_, bytes] : dst_outstanding_) {
     if (bytes <= 0) continue;
     total += bytes;

@@ -5,10 +5,16 @@
 namespace pythia::exp {
 
 namespace {
+// Wall-clock sampling lives in exactly one place, feeds RunnerCounters
+// (wall/busy seconds) and nothing else; run results never read it, so the
+// bit-identity contract of map() is untouched.
 std::uint64_t steady_ns() {
+  // pythia-lint: allow(wall-clock) counters-only wall time; results never
+  // depend on it (see RunnerCounters doc)
+  const auto now = std::chrono::steady_clock::now();
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+          now.time_since_epoch())
           .count());
 }
 }  // namespace
@@ -35,10 +41,10 @@ RunnerCounters ParallelRunner::counters() const {
   return c;
 }
 
-std::uint64_t ParallelRunner::begin_batch() { return steady_ns(); }
+void ParallelRunner::begin_batch() { batch_t0_ns_ = steady_ns(); }
 
-void ParallelRunner::end_batch(std::uint64_t t0_ns) {
-  wall_seconds_ += static_cast<double>(steady_ns() - t0_ns) / 1e9;
+void ParallelRunner::end_batch() {
+  wall_seconds_ += static_cast<double>(steady_ns() - batch_t0_ns_) / 1e9;
 }
 
 }  // namespace pythia::exp

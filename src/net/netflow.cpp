@@ -39,6 +39,8 @@ const std::vector<VolumePoint>& NetFlowProbe::curve(NodeId host) const {
 std::vector<NodeId> NetFlowProbe::observed_sources() const {
   std::vector<NodeId> out;
   out.reserve(curves_.size());
+  // pythia-lint: allow(unordered-iter) key collection only; sorted on the
+  // next line before anything observes the order
   for (const auto& [host, _] : curves_) out.push_back(host);
   std::sort(out.begin(), out.end());
   return out;

@@ -273,9 +273,13 @@ void RoutingGraph::rebuild_incremental(
   ++counters_.incremental_rebuilds;
   std::vector<LinkId> added;    // newly failed links
   std::vector<LinkId> removed;  // restored links
+  // pythia-lint: allow(unordered-iter) set difference; `added` is sorted
+  // below before it drives any rebuild decision
   for (LinkId l : banned) {
     if (!banned_.contains(l)) added.push_back(l);
   }
+  // pythia-lint: allow(unordered-iter) set difference; `removed` is sorted
+  // below before it drives any rebuild decision
   for (LinkId l : banned_) {
     if (!banned.contains(l)) removed.push_back(l);
   }

@@ -209,6 +209,8 @@ bool Controller::admit_to_tables(const net::Path& path,
       // Evict the smallest-volume rule holding an entry on this switch — but
       // only if the newcomer is strictly larger; otherwise refuse it.
       auto victim = rules_.end();
+      // pythia-lint: allow(unordered-iter) min scan with a total-order key
+      // tie-break; the victim is unique whatever the visit order
       for (auto it = rules_.begin(); it != rules_.end(); ++it) {
         const auto& links = it->second.rule.path->links;
         const bool occupies =
@@ -434,6 +436,8 @@ void Controller::handle_link_failure(net::LinkId l) {
   // Purge forwarding rules (host-pair and rack wildcards) that traverse a
   // dead link; traffic falls back to ECMP over the rebuilt path set until an
   // app reinstalls.
+  // pythia-lint: allow(unordered-iter) pure filter: each rule's fate depends
+  // only on failed_links_, so the surviving set is order-independent
   for (auto it = rules_.begin(); it != rules_.end();) {
     const auto& path = it->second.rule.path->links;
     const bool dead = std::any_of(path.begin(), path.end(),
@@ -442,6 +446,8 @@ void Controller::handle_link_failure(net::LinkId l) {
                                   });
     it = dead ? erase_rule(it) : ++it;
   }
+  // pythia-lint: allow(unordered-iter) pure filter, same argument as the
+  // host-pair purge above
   for (auto it = rack_rules_.begin(); it != rack_rules_.end();) {
     const auto& chain = it->second.chain.links;
     const bool dead = std::any_of(chain.begin(), chain.end(),

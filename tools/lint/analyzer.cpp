@@ -1,0 +1,557 @@
+#include "analyzer.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace pythia::lint {
+
+namespace {
+
+struct LexedFile {
+  const SourceFile* src = nullptr;
+  std::vector<Token> all;   // full stream, comments and preproc included
+  std::vector<Token> code;  // comments/preproc stripped: what rules match on
+};
+
+// A parsed `pythia-lint: allow(<rule>) <justification>` annotation.
+struct Annotation {
+  std::string file;
+  int line = 0;          // line of the comment itself
+  int col = 0;
+  std::string rule;
+  std::string justification;
+  int applies_line = 0;  // line whose findings this annotation suppresses
+  bool valid = false;    // parsed and names a known rule with justification
+  bool used = false;
+};
+
+[[nodiscard]] bool is_known_rule(const std::string& r) {
+  return r == kRuleUnorderedIter || r == kRuleWallClock ||
+         r == kRulePointerOrder;
+}
+
+[[nodiscard]] const Token* tok_at(const std::vector<Token>& toks,
+                                  std::size_t i) {
+  return i < toks.size() ? &toks[i] : nullptr;
+}
+
+[[nodiscard]] bool is_ident(const Token* t, const char* text) {
+  return t != nullptr && t->kind == TokKind::kIdentifier && t->text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token* t, const char* text) {
+  return t != nullptr && t->kind == TokKind::kPunct && t->text == text;
+}
+
+// Skips a balanced template argument list starting at toks[i] == '<'.
+// Returns the index one past the closing '>' (or toks.size() on imbalance).
+// Parentheses inside arguments are honored; '<'/'>' only count at paren
+// depth 0, which is correct for type positions (no comparison operators
+// appear directly after `unordered_map`).
+[[nodiscard]] std::size_t skip_template_args(const std::vector<Token>& toks,
+                                             std::size_t i) {
+  int angle = 0;
+  int paren = 0;
+  for (; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(") ++paren;
+    if (t.text == ")") --paren;
+    if (paren != 0) continue;
+    if (t.text == "<") ++angle;
+    if (t.text == ">") {
+      --angle;
+      if (angle == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+// Name tables built across the whole scanned file set.
+struct NameTables {
+  std::set<std::string> unordered_types;   // unordered_map/set + aliases
+  std::set<std::string> unordered_vars;    // variables/members/params
+  std::set<std::string> unordered_funcs;   // functions returning (refs to) them
+  std::set<std::string> pointer_vec_vars;  // std::vector<T*> variables
+};
+
+// Pass A: `using X = ...unordered...;` / `typedef ...unordered... X;`.
+void collect_aliases(const LexedFile& lf, NameTables& names) {
+  const auto& t = lf.code;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (is_ident(tok_at(t, i), "using") && t.size() > i + 2 &&
+        t[i + 1].kind == TokKind::kIdentifier && is_punct(tok_at(t, i + 2), "=")) {
+      for (std::size_t j = i + 3; j < t.size() && !is_punct(&t[j], ";"); ++j) {
+        if (t[j].kind == TokKind::kIdentifier &&
+            names.unordered_types.count(t[j].text) > 0) {
+          names.unordered_types.insert(t[i + 1].text);
+          break;
+        }
+      }
+    }
+    if (is_ident(tok_at(t, i), "typedef")) {
+      std::size_t semi = i;
+      bool unordered = false;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].kind == TokKind::kIdentifier &&
+            names.unordered_types.count(t[j].text) > 0) {
+          unordered = true;
+        }
+        if (is_punct(&t[j], ";")) {
+          semi = j;
+          break;
+        }
+      }
+      if (unordered && semi > i + 1 &&
+          t[semi - 1].kind == TokKind::kIdentifier) {
+        names.unordered_types.insert(t[semi - 1].text);
+      }
+    }
+  }
+}
+
+// Pass B: declarations `<Type><targs>[&*const] name ...`. A following '('
+// marks a function returning the container; a declarator terminator marks a
+// variable/member/parameter.
+void collect_names(const LexedFile& lf, NameTables& names) {
+  const auto& t = lf.code;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdentifier) continue;
+    const bool unordered = names.unordered_types.count(t[i].text) > 0;
+    const bool is_vector = t[i].text == "vector";
+    if (!unordered && !is_vector) continue;
+    if (i > 0 && (is_punct(&t[i - 1], ".") || is_punct(&t[i - 1], "->"))) {
+      continue;  // member access that merely *looks* like a type name
+    }
+
+    std::size_t j = i + 1;
+    bool ptr_element = false;
+    if (is_punct(tok_at(t, j), "<")) {
+      const std::size_t end = skip_template_args(t, j);
+      // vector<T*>: element type's last token before '>' is '*'.
+      if (is_vector && end >= 2 && end <= t.size() &&
+          is_punct(&t[end - 2], "*")) {
+        ptr_element = true;
+      }
+      j = end;
+    } else if (is_vector) {
+      continue;  // bare `vector` identifier without args: not a declaration
+    }
+    if (is_vector && !ptr_element) continue;
+
+    while (is_punct(tok_at(t, j), "&") || is_punct(tok_at(t, j), "*") ||
+           is_ident(tok_at(t, j), "const")) {
+      ++j;
+    }
+    const Token* name = tok_at(t, j);
+    if (name == nullptr || name->kind != TokKind::kIdentifier) continue;
+    const Token* after = tok_at(t, j + 1);
+    if (after == nullptr) continue;
+    if (is_punct(after, "(")) {
+      if (unordered) names.unordered_funcs.insert(name->text);
+    } else if (after->kind == TokKind::kPunct &&
+               (after->text == ";" || after->text == "=" ||
+                after->text == "{" || after->text == "," ||
+                after->text == ")" || after->text == "[")) {
+      if (unordered) names.unordered_vars.insert(name->text);
+      if (ptr_element) names.pointer_vec_vars.insert(name->text);
+    }
+  }
+}
+
+// R1a: range-for whose range expression mentions an unordered container.
+void check_range_for(const LexedFile& lf, const NameTables& names,
+                     std::vector<Finding>& out) {
+  const auto& t = lf.code;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_ident(&t[i], "for") || !is_punct(&t[i + 1], "(")) continue;
+    int depth = 1;
+    int ternary = 0;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    for (std::size_t j = i + 2; j < t.size(); ++j) {
+      const Token& tk = t[j];
+      if (tk.kind != TokKind::kPunct) continue;
+      if (tk.text == "(") ++depth;
+      if (tk.text == ")") {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (tk.text == "?") ++ternary;
+      if (tk.text == ":" && depth == 1) {
+        if (ternary > 0) {
+          --ternary;
+        } else if (colon == 0) {
+          colon = j;
+        }
+      }
+    }
+    if (colon == 0 || close == 0) continue;  // classic for / macro soup
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (t[j].kind != TokKind::kIdentifier) continue;
+      const std::string& id = t[j].text;
+      const bool var = names.unordered_vars.count(id) > 0;
+      const bool func = names.unordered_funcs.count(id) > 0 &&
+                        is_punct(tok_at(t, j + 1), "(");
+      const bool type = names.unordered_types.count(id) > 0;
+      if (!var && !func && !type) continue;
+      out.push_back(Finding{
+          lf.src->path, t[i].line, t[i].col, kRuleUnorderedIter,
+          "range-for over unordered container '" + id +
+              "' in a deterministic scope; hash-table iteration order is "
+              "unspecified and may differ across libc++/libstdc++ or after "
+              "rehash",
+          "copy the keys into a std::vector and std::sort them (or iterate "
+          "a parallel sorted index); if every iteration outcome is provably "
+          "order-insensitive, annotate the statement: // pythia-lint: "
+          "allow(unordered-iter) <why>"});
+      break;  // one finding per range-for
+    }
+  }
+}
+
+// R1b: explicit iterator traversal `X.begin()` / `X.cbegin()`.
+void check_iterator_loops(const LexedFile& lf, const NameTables& names,
+                          std::vector<Finding>& out) {
+  const auto& t = lf.code;
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdentifier ||
+        names.unordered_vars.count(t[i].text) == 0) {
+      continue;
+    }
+    if (!is_punct(&t[i + 1], ".") && !is_punct(&t[i + 1], "->")) continue;
+    if (!is_ident(&t[i + 2], "begin") && !is_ident(&t[i + 2], "cbegin")) {
+      continue;
+    }
+    if (!is_punct(&t[i + 3], "(")) continue;
+    out.push_back(Finding{
+        lf.src->path, t[i].line, t[i].col, kRuleUnorderedIter,
+        "iterator traversal of unordered container '" + t[i].text +
+            "' in a deterministic scope; hash-table iteration order is "
+            "unspecified",
+        "traverse a sorted snapshot of the keys instead, or annotate: "
+        "// pythia-lint: allow(unordered-iter) <why>"});
+  }
+}
+
+// R2: wall-clock reads and ambient RNG.
+void check_wall_clock(const LexedFile& lf, std::vector<Finding>& out) {
+  const auto& t = lf.code;
+  auto prev_is_member_or_scope = [&](std::size_t i) {
+    if (i == 0) return false;
+    const Token& p = t[i - 1];
+    if (is_punct(&p, ".") || is_punct(&p, "->")) return true;
+    if (is_punct(&p, "::")) {
+      // std::time / std::rand are exactly what we hunt; any other
+      // qualification (sim::time, Foo::rand) is someone else's symbol.
+      return !(i >= 2 && is_ident(&t[i - 2], "std"));
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdentifier) continue;
+    const std::string& id = t[i].text;
+
+    if (id == "steady_clock" || id == "system_clock" ||
+        id == "high_resolution_clock" || id == "random_device") {
+      out.push_back(Finding{
+          lf.src->path, t[i].line, t[i].col, kRuleWallClock,
+          "'" + id +
+              "' in deterministic code; wall-clock/entropy reads make runs "
+              "irreproducible",
+          "derive randomness from util::random seed lanes and time from the "
+          "simulation clock; timing for *counters only* may be annotated: "
+          "// pythia-lint: allow(wall-clock) <why>"});
+      continue;
+    }
+    if ((id == "rand" || id == "srand" || id == "time") &&
+        is_punct(tok_at(t, i + 1), "(")) {
+      if (prev_is_member_or_scope(i)) continue;
+      // `SimTime time() const` and `double time(...)` are declarations: the
+      // preceding token is the return type. Keywords that legitimately
+      // precede a call keep the finding alive.
+      if (i > 0 && t[i - 1].kind == TokKind::kIdentifier &&
+          t[i - 1].text != "return" && t[i - 1].text != "else" &&
+          t[i - 1].text != "do" && t[i - 1].text != "case") {
+        continue;
+      }
+      out.push_back(Finding{
+          lf.src->path, t[i].line, t[i].col, kRuleWallClock,
+          "call to '" + id +
+              "()' in deterministic code; ambient RNG/wall-clock state is "
+              "not replayable",
+          id == "time"
+              ? "use the simulation clock (util::SimTime) instead"
+              : "draw from a seeded util::random stream instead"});
+    }
+  }
+}
+
+// R3a: std::map/set/multimap/multiset keyed on a raw pointer type.
+void check_pointer_keys(const LexedFile& lf, std::vector<Finding>& out) {
+  const auto& t = lf.code;
+  for (std::size_t i = 2; i < t.size(); ++i) {
+    const std::string& id = t[i].text;
+    if (t[i].kind != TokKind::kIdentifier ||
+        (id != "map" && id != "set" && id != "multimap" &&
+         id != "multiset")) {
+      continue;
+    }
+    if (!is_punct(&t[i - 1], "::") || !is_ident(&t[i - 2], "std")) continue;
+    if (!is_punct(tok_at(t, i + 1), "<")) continue;
+    // First template argument: up to the first ',' or the closing '>' at
+    // angle depth 1.
+    int angle = 0;
+    std::size_t last = 0;
+    bool done = false;
+    for (std::size_t j = i + 1; j < t.size() && !done; ++j) {
+      const Token& tk = t[j];
+      if (tk.kind == TokKind::kPunct) {
+        if (tk.text == "<") {
+          ++angle;
+          continue;
+        }
+        if (tk.text == ">" && --angle == 0) done = true;
+        if (tk.text == "," && angle == 1) done = true;
+      }
+      if (!done) last = j;
+    }
+    if (last != 0 && is_punct(&t[last], "*")) {
+      out.push_back(Finding{
+          lf.src->path, t[i].line, t[i].col, kRulePointerOrder,
+          "ordered container keyed on a raw pointer; address order changes "
+          "with ASLR and allocation history, so traversal order is not "
+          "reproducible",
+          "key on a stable id (FlowId/LinkId/slot index) instead, or "
+          "annotate: // pythia-lint: allow(pointer-order) <why>"});
+    }
+  }
+}
+
+// R3b: comparator-less std::sort/stable_sort over a vector of pointers.
+void check_pointer_sort(const LexedFile& lf, const NameTables& names,
+                        std::vector<Finding>& out) {
+  const auto& t = lf.code;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdentifier ||
+        (t[i].text != "sort" && t[i].text != "stable_sort")) {
+      continue;
+    }
+    if (!is_punct(&t[i + 1], "(")) continue;
+    int depth = 1;
+    int commas = 0;
+    std::size_t close = 0;
+    for (std::size_t j = i + 2; j < t.size(); ++j) {
+      const Token& tk = t[j];
+      if (tk.kind != TokKind::kPunct) continue;
+      if (tk.text == "(" || tk.text == "{" || tk.text == "[") ++depth;
+      if (tk.text == ")" || tk.text == "}" || tk.text == "]") {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (tk.text == "," && depth == 1) ++commas;
+    }
+    if (close == 0 || commas != 1) continue;  // comparator present (or weird)
+    const Token* first = tok_at(t, i + 2);
+    if (first == nullptr || first->kind != TokKind::kIdentifier ||
+        names.pointer_vec_vars.count(first->text) == 0) {
+      continue;
+    }
+    out.push_back(Finding{
+        lf.src->path, t[i].line, t[i].col, kRulePointerOrder,
+        "std::" + t[i].text + " of pointer vector '" + first->text +
+            "' without a comparator sorts by raw address, which varies "
+            "run to run",
+        "pass a comparator over stable ids, or annotate: "
+        "// pythia-lint: allow(pointer-order) <why>"});
+  }
+}
+
+// Extracts `pythia-lint: allow(<rule>) <why>` annotations from comments and
+// reports parse problems (unknown rule, missing justification) immediately.
+std::vector<Annotation> collect_annotations(const LexedFile& lf,
+                                            std::vector<Finding>& out) {
+  std::vector<Annotation> anns;
+  const auto& all = lf.all;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].kind != TokKind::kComment) continue;
+    const std::string& text = all[i].text;
+    const std::size_t tag = text.find("pythia-lint:");
+    if (tag == std::string::npos) continue;
+
+    Annotation a;
+    a.file = lf.src->path;
+    a.line = all[i].line;
+    a.col = all[i].col;
+
+    std::size_t p = text.find("allow(", tag);
+    if (p == std::string::npos) {
+      out.push_back(Finding{
+          a.file, a.line, a.col, kRuleBadSuppression,
+          "malformed pythia-lint annotation; expected 'pythia-lint: "
+          "allow(<rule>) <justification>'",
+          "fix the annotation grammar or delete the comment"});
+      continue;
+    }
+    p += 6;
+    const std::size_t q = text.find(')', p);
+    if (q == std::string::npos) {
+      out.push_back(Finding{a.file, a.line, a.col, kRuleBadSuppression,
+                            "unterminated allow(...) in pythia-lint "
+                            "annotation",
+                            "close the parenthesis"});
+      continue;
+    }
+    a.rule = text.substr(p, q - p);
+    std::string just = text.substr(q + 1);
+    if (just.size() >= 2 && just.substr(just.size() - 2) == "*/") {
+      just = just.substr(0, just.size() - 2);
+    }
+    while (!just.empty() && (just.front() == ' ' || just.front() == '\t')) {
+      just.erase(just.begin());
+    }
+    while (!just.empty() && (just.back() == ' ' || just.back() == '\t')) {
+      just.pop_back();
+    }
+    a.justification = just;
+
+    if (!is_known_rule(a.rule)) {
+      out.push_back(Finding{
+          a.file, a.line, a.col, kRuleBadSuppression,
+          "annotation names unknown rule '" + a.rule + "'",
+          "known rules: unordered-iter, wall-clock, pointer-order"});
+      continue;
+    }
+    if (a.justification.empty()) {
+      out.push_back(Finding{
+          a.file, a.line, a.col, kRuleBadSuppression,
+          "allow(" + a.rule + ") annotation is missing its justification",
+          "say *why* the suppressed pattern is deterministic, e.g. "
+          "// pythia-lint: allow(" + a.rule + ") result is sorted below"});
+      continue;
+    }
+
+    // A standalone comment (first token on its line) applies to the next
+    // line that carries code; a trailing comment applies to its own line.
+    bool standalone = true;
+    for (const Token& other : all) {
+      if (other.line == a.line && &other != &all[i] &&
+          other.col < all[i].col) {
+        standalone = false;
+        break;
+      }
+    }
+    a.applies_line = a.line;
+    if (standalone) {
+      for (std::size_t j = i + 1; j < all.size(); ++j) {
+        if (all[j].kind == TokKind::kComment) continue;
+        a.applies_line = all[j].line;
+        break;
+      }
+    }
+    a.valid = true;
+    anns.push_back(a);
+  }
+  return anns;
+}
+
+}  // namespace
+
+std::vector<Finding> analyze(const std::vector<SourceFile>& files,
+                             const Config& cfg) {
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files.size());
+  for (const SourceFile& f : files) {
+    LexedFile lf;
+    lf.src = &f;
+    lf.all = lex(f.text);
+    for (const Token& t : lf.all) {
+      if (t.kind != TokKind::kComment && t.kind != TokKind::kPreproc) {
+        lf.code.push_back(t);
+      }
+    }
+    lexed.push_back(std::move(lf));
+  }
+
+  NameTables names;
+  names.unordered_types = {"unordered_map", "unordered_set",
+                           "unordered_multimap", "unordered_multiset"};
+  // Two rounds so an alias-of-alias (or an alias defined in a file lexed
+  // after its use site) still lands in the table.
+  for (int round = 0; round < 2; ++round) {
+    for (const LexedFile& lf : lexed) collect_aliases(lf, names);
+  }
+  for (const LexedFile& lf : lexed) collect_names(lf, names);
+
+  std::vector<Finding> findings;
+  for (const LexedFile& lf : lexed) {
+    const std::string& path = lf.src->path;
+    const bool deterministic = path_in(path, cfg.deterministic_scopes);
+    const bool clock_allowed = path_in(path, cfg.wall_clock_allow);
+
+    std::vector<Finding> file_findings;
+    if (deterministic) {
+      check_range_for(lf, names, file_findings);
+      check_iterator_loops(lf, names, file_findings);
+      check_pointer_keys(lf, file_findings);
+      check_pointer_sort(lf, names, file_findings);
+    }
+    if (!clock_allowed) {
+      check_wall_clock(lf, file_findings);
+    }
+
+    std::vector<Annotation> anns = collect_annotations(lf, file_findings);
+
+    // Apply suppressions, then report the stale ones (R5).
+    std::vector<Finding> kept;
+    for (Finding& f : file_findings) {
+      bool suppressed = false;
+      for (Annotation& a : anns) {
+        if (a.valid && a.rule == f.rule && a.applies_line == f.line) {
+          a.used = true;
+          suppressed = true;
+        }
+      }
+      if (!suppressed) kept.push_back(std::move(f));
+    }
+    for (const Annotation& a : anns) {
+      if (a.valid && !a.used) {
+        kept.push_back(Finding{
+            a.file, a.line, a.col, kRuleStaleSuppression,
+            "allow(" + a.rule +
+                ") annotation suppresses nothing; the pattern it excused is "
+                "gone (or the annotation sits on the wrong line)",
+            "delete the annotation, or move it onto the flagged statement"});
+      }
+    }
+    findings.insert(findings.end(), kept.begin(), kept.end());
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::string format_finding(const Finding& f, bool fix_suggestions) {
+  std::string out = f.file + ":" + std::to_string(f.line) + ":" +
+                    std::to_string(f.col) + ": " + f.rule + ": " + f.message;
+  if (fix_suggestions && !f.suggestion.empty()) {
+    out += "\n  suggestion: " + f.suggestion;
+  }
+  return out;
+}
+
+}  // namespace pythia::lint

@@ -1,0 +1,69 @@
+// Rule engine for pythia-lint.
+//
+// The analyzer enforces the bit-identical simulation contract statically:
+//
+//   R1 unordered-iter   — no range-for / .begin() traversal of
+//                         std::unordered_map / std::unordered_set (or
+//                         aliases, or functions returning references to
+//                         them) inside deterministic scopes.
+//   R2 wall-clock       — no std::rand/srand, std::random_device, time(),
+//                         or std:: chrono clocks outside the configured
+//                         timing allowlist.
+//   R3 pointer-order    — no ordered containers keyed on raw pointers and
+//                         no comparator-less sort of pointer vectors
+//                         inside deterministic scopes (address order varies
+//                         run to run under ASLR).
+//   R5 suppressions     — every `// pythia-lint: allow(<rule>) <why>`
+//                         annotation must name a known rule, carry a
+//                         justification, and suppress at least one finding
+//                         (otherwise it is reported as stale).
+//
+// R4 (header self-containment) is not a token rule; it is implemented by
+// --emit-header-tus in main.cpp plus the check_headers CMake target.
+//
+// Analysis is a whole-program token pass: container/alias/function names are
+// collected across every scanned file first (so a member declared in a
+// header is recognized when iterated in its .cpp), then rules run per file.
+// Everything is heuristic — no semantic analysis — but each heuristic is
+// deliberately one-sided: false positives are cheap (annotate with a
+// justification), while the patterns that matter (the ones that have
+// actually introduced nondeterminism) are all caught.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+
+namespace pythia::lint {
+
+struct SourceFile {
+  std::string path;  // repo-relative, '/'-separated
+  std::string text;
+};
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string rule;        // e.g. "unordered-iter"
+  std::string message;
+  std::string suggestion;  // printed under --fix-suggestions
+};
+
+inline constexpr const char* kRuleUnorderedIter = "unordered-iter";
+inline constexpr const char* kRuleWallClock = "wall-clock";
+inline constexpr const char* kRulePointerOrder = "pointer-order";
+inline constexpr const char* kRuleBadSuppression = "bad-suppression";
+inline constexpr const char* kRuleStaleSuppression = "stale-suppression";
+
+/// Runs all token rules over `files`. Findings are sorted by
+/// (file, line, col, rule) so output is deterministic.
+[[nodiscard]] std::vector<Finding> analyze(const std::vector<SourceFile>& files,
+                                           const Config& cfg);
+
+/// Formats one finding clang-style: `file:line:col: rule: message`.
+[[nodiscard]] std::string format_finding(const Finding& f,
+                                         bool fix_suggestions);
+
+}  // namespace pythia::lint

@@ -1,0 +1,48 @@
+// Configuration for pythia-lint.
+//
+// Loaded from a checked-in TOML-subset file (tools/lint/pythia_lint.toml).
+// The parser supports exactly what the config needs — `[section]` headers,
+// `key = "string"`, `key = ["a", "b"]`, `key = true|false`, and `#` comments
+// — so the tool carries no third-party dependency.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pythia::lint {
+
+struct Config {
+  // Directories (relative to the repo root) walked for sources to analyze.
+  std::vector<std::string> scan_roots = {"src", "bench", "examples"};
+
+  // Path prefixes (relative, '/'-separated) forming the deterministic scope:
+  // R1 (unordered-iter) and R3 (pointer-order) fire only here, and R2
+  // (wall-clock) has no allowlist escape here short of an annotation.
+  std::vector<std::string> deterministic_scopes;
+
+  // Path prefixes where wall-clock / RNG primitives are permitted without
+  // annotation (timing infrastructure, benches).
+  std::vector<std::string> wall_clock_allow;
+
+  // Directories walked for headers by --emit-header-tus (R4).
+  std::vector<std::string> header_roots = {"src"};
+
+  // Path prefixes excluded from scanning entirely (generated code, vendored
+  // sources).
+  std::vector<std::string> skip_paths;
+};
+
+/// Parses the TOML-subset text. Returns std::nullopt and fills `error` on a
+/// malformed line (the message includes the 1-based line number).
+[[nodiscard]] std::optional<Config> parse_config(const std::string& text,
+                                                 std::string& error);
+
+/// True if `path` (repo-relative, '/'-separated) falls under any prefix in
+/// `prefixes`. A prefix matches whole path components: "src/net" matches
+/// "src/net/fabric.cpp" but not "src/netflow.cpp". Prefixes may also name a
+/// file stem exactly ("src/util/thread_pool" matches thread_pool.cpp/.hpp).
+[[nodiscard]] bool path_in(const std::string& path,
+                           const std::vector<std::string>& prefixes);
+
+}  // namespace pythia::lint

@@ -1,0 +1,58 @@
+// Deliberately nondeterministic code: one injected violation per pythia-lint
+// rule. This file is never compiled — it exists so the
+// lint_fixture_violations ctest can assert that pythia-lint exits non-zero
+// when the contract is broken. Keep each violation on its own line; the test
+// greps for the rule names in the diagnostics.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Flow {
+  int id = 0;
+};
+
+// R1: range-for over a hash table.
+std::unordered_map<int, int> table_;
+int sum_table() {
+  int sum = 0;
+  for (const auto& [key, value] : table_) sum += value;
+  return sum;
+}
+
+// R1: explicit iterator traversal.
+int first_key() {
+  const auto it = table_.begin();
+  return it == table_.end() ? -1 : it->first;
+}
+
+// R2: wall-clock read.
+long long stamp_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// R2: ambient RNG and C time.
+int noise() { return std::rand(); }
+long when() { return time(nullptr); }
+
+// R3: ordered container keyed on raw pointer values.
+std::map<Flow*, int> priority_by_flow;
+
+// R3: address-ordered sort.
+std::vector<Flow*> live_flows;
+void order_flows() { std::sort(live_flows.begin(), live_flows.end()); }
+
+// R5: stale suppression — there is no unordered iteration on the next line.
+// pythia-lint: allow(unordered-iter) the loop this excused was deleted
+int nothing_suppressed = 0;
+
+// R5: unknown rule name.
+// pythia-lint: allow(flux-capacitor) not a real rule
+int unknown_rule = 0;
+
+// R5: missing justification.
+// pythia-lint: allow(wall-clock)
+int no_justification = 0;

@@ -1,0 +1,51 @@
+// Minimal C++ lexer for pythia-lint.
+//
+// Produces a flat token stream with source positions. Unlike a grep-based
+// checker, the lexer understands the lexical grammar well enough that rule
+// matching never fires inside comments, string literals (including raw
+// strings), character literals, or preprocessor directives:
+//
+//   - line (`//`) and block (`/* */`) comments become Comment tokens (kept,
+//     because suppression annotations live in comments);
+//   - `"..."` / `'...'` with escape sequences become String/CharLit tokens;
+//   - raw strings `R"delim(...)delim"` (with u8/u/U/L prefixes) are scanned
+//     to their matching delimiter, however many lines they span;
+//   - preprocessor directives (a `#` first on its line, plus backslash
+//     continuations) collapse into a single Preproc token;
+//   - `::` and `->` are emitted as single multi-char punctuators so rule
+//     patterns can distinguish qualification and member access cheaply.
+//
+// Everything else is Identifier / Number / Punct. The lexer never fails: on
+// malformed input (unterminated literal, stray byte) it degrades to
+// single-character Punct tokens so the analyzer still sees the rest of the
+// file.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pythia::lint {
+
+enum class TokKind {
+  kIdentifier,
+  kNumber,
+  kString,   // ordinary or raw string literal (text excludes quotes' content)
+  kCharLit,  // character literal
+  kPunct,    // operators and punctuation; `::` and `->` are single tokens
+  kComment,  // full comment text including the `//` or `/* */` markers
+  kPreproc,  // whole preprocessor logical line including continuations
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 1;  // 1-based line of the token's first character
+  int col = 1;   // 1-based column of the token's first character
+};
+
+/// Tokenizes `src`. Whitespace is skipped; all other input is covered by
+/// exactly one token. Never throws.
+[[nodiscard]] std::vector<Token> lex(std::string_view src);
+
+}  // namespace pythia::lint

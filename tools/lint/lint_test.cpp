@@ -1,0 +1,361 @@
+// Fixture-driven unit tests for pythia-lint: for every rule a positive, a
+// negative, a suppressed, and a stale-suppression case, plus lexer and
+// config coverage. These tests call the analyzer in-process on snippet
+// "files"; the end-to-end binary behaviour (exit codes over the real tree
+// and over the violation fixtures) is exercised by the lint_* ctest entries
+// registered in tools/lint/CMakeLists.txt.
+#include "analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+#include "lexer.hpp"
+
+namespace pythia::lint {
+namespace {
+
+Config test_config() {
+  Config cfg;
+  cfg.deterministic_scopes = {"src"};
+  cfg.wall_clock_allow = {"allowed"};
+  return cfg;
+}
+
+std::vector<Finding> run(const std::vector<SourceFile>& files) {
+  return analyze(files, test_config());
+}
+
+std::vector<Finding> run_one(const std::string& path,
+                             const std::string& text) {
+  return run({SourceFile{path, text}});
+}
+
+int count_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(fs.begin(), fs.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// ---------------------------------------------------------------- lexer ---
+
+TEST(Lexer, SkipsCommentsStringsAndPreprocessor) {
+  const auto fs = run_one("src/a.cpp",
+                          "// steady_clock in a comment\n"
+                          "/* random_device in a block\n   comment */\n"
+                          "const char* s = \"steady_clock\";\n"
+                          "#include <chrono>  // steady_clock\n"
+                          "const char* r = R\"(system_clock)\";\n");
+  EXPECT_EQ(count_rule(fs, kRuleWallClock), 0);
+}
+
+TEST(Lexer, RawStringDoesNotSwallowFollowingCode) {
+  const auto fs = run_one("src/a.cpp",
+                          "const char* r = R\"x(text \" )\" more)x\";\n"
+                          "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(count_rule(fs, kRuleWallClock), 1);
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto toks = lex("ab cd\n  ef\n");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[2].text, "ef");
+  EXPECT_EQ(toks[2].line, 2);
+  EXPECT_EQ(toks[2].col, 3);
+}
+
+TEST(Lexer, PreprocessorContinuationIsOneToken) {
+  const auto toks = lex("#define X \\\n  steady_clock\nint y;\n");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokKind::kPreproc);
+  EXPECT_EQ(toks[1].text, "int");
+}
+
+// --------------------------------------------------------------- config ---
+
+TEST(ConfigParse, RoundTrips) {
+  std::string err;
+  const auto cfg = parse_config(
+      "# comment\n[scopes]\nscan = [\"src\"]\n"
+      "deterministic = [\"src/sim\", \"src/net\"]\nskip = []\n"
+      "[rule.wall-clock]\nallow = [\"bench\"]\n"
+      "[headers]\nroots = [\"src\"]\n",
+      err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  EXPECT_EQ(cfg->deterministic_scopes.size(), 2u);
+  EXPECT_EQ(cfg->wall_clock_allow.size(), 1u);
+}
+
+TEST(ConfigParse, MultiLineArraysAndTrailingCommas) {
+  std::string err;
+  const auto cfg = parse_config(
+      "[scopes]\n"
+      "deterministic = [\n"
+      "  \"src/sim\",  # the event loop\n"
+      "  \"src/net\",\n"
+      "]\n",
+      err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  EXPECT_EQ(cfg->deterministic_scopes.size(), 2u);
+  EXPECT_EQ(cfg->deterministic_scopes[1], "src/net");
+}
+
+TEST(ConfigParse, RejectsUnknownKeyWithLineNumber) {
+  std::string err;
+  EXPECT_FALSE(parse_config("[scopes]\nbogus = [\"x\"]\n", err).has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+}
+
+TEST(ConfigPathIn, MatchesComponentBoundariesOnly) {
+  EXPECT_TRUE(path_in("src/net/fabric.cpp", {"src/net"}));
+  EXPECT_FALSE(path_in("src/netflow.cpp", {"src/net"}));
+  EXPECT_TRUE(path_in("src/util/thread_pool.cpp", {"src/util/thread_pool"}));
+  EXPECT_FALSE(path_in("src/util/thread_pool_extra.cpp",
+                       {"src/util/thread_pool"}));
+}
+
+// ------------------------------------------------- R1: unordered-iter ----
+
+TEST(R1UnorderedIter, FlagsRangeForOverLocal) {
+  const auto fs = run_one("src/a.cpp",
+                          "void f() {\n"
+                          "  std::unordered_map<int, int> m;\n"
+                          "  for (const auto& [k, v] : m) { (void)k; }\n"
+                          "}\n");
+  ASSERT_EQ(count_rule(fs, kRuleUnorderedIter), 1);
+  EXPECT_EQ(fs[0].line, 3);
+}
+
+TEST(R1UnorderedIter, ResolvesMemberDeclaredInHeader) {
+  const auto fs = run({
+      SourceFile{"src/b.hpp",
+                 "struct S { std::unordered_map<int, long> agg_; };\n"},
+      SourceFile{"src/b.cpp", "void S_touch(S& s) {\n"
+                              "  for (auto& [k, v] : s.agg_) v = 0;\n"
+                              "}\n"},
+  });
+  EXPECT_EQ(count_rule(fs, kRuleUnorderedIter), 1);
+}
+
+TEST(R1UnorderedIter, ResolvesTypeAlias) {
+  const auto fs = run_one("src/a.cpp",
+                          "using RuleMap = std::unordered_map<int, int>;\n"
+                          "RuleMap rules_;\n"
+                          "void f() { for (auto& r : rules_) (void)r; }\n");
+  EXPECT_EQ(count_rule(fs, kRuleUnorderedIter), 1);
+}
+
+TEST(R1UnorderedIter, FlagsAccessorReturningUnorderedRef) {
+  const auto fs = run_one(
+      "src/a.cpp",
+      "const std::unordered_set<int>& failed_links() ;\n"
+      "void f() { for (int l : failed_links()) (void)l; }\n");
+  EXPECT_EQ(count_rule(fs, kRuleUnorderedIter), 1);
+}
+
+TEST(R1UnorderedIter, FlagsIteratorBeginLoop) {
+  const auto fs = run_one(
+      "src/a.cpp",
+      "std::unordered_map<int, int> rules_;\n"
+      "void f() {\n"
+      "  for (auto it = rules_.begin(); it != rules_.end(); ++it) {}\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, kRuleUnorderedIter), 1);
+}
+
+TEST(R1UnorderedIter, IgnoresVectorAndOrderedMap) {
+  const auto fs = run_one("src/a.cpp",
+                          "std::vector<int> v;\n"
+                          "std::map<int, int> m;\n"
+                          "void f() {\n"
+                          "  for (int x : v) (void)x;\n"
+                          "  for (auto& [k, y] : m) (void)k;\n"
+                          "  for (auto it = m.begin(); it != m.end(); ++it) "
+                          "{}\n"
+                          "}\n");
+  EXPECT_EQ(count_rule(fs, kRuleUnorderedIter), 0);
+}
+
+TEST(R1UnorderedIter, OutsideDeterministicScopeIsClean) {
+  const auto fs = run_one("tools/x.cpp",
+                          "std::unordered_map<int, int> m;\n"
+                          "void f() { for (auto& kv : m) (void)kv; }\n");
+  EXPECT_EQ(count_rule(fs, kRuleUnorderedIter), 0);
+}
+
+TEST(R1UnorderedIter, TrailingAnnotationSuppresses) {
+  const auto fs = run_one(
+      "src/a.cpp",
+      "std::unordered_map<int, int> m;\n"
+      "void f() {\n"
+      "  for (auto& [k, v] : m) v = 0;  "
+      "// pythia-lint: allow(unordered-iter) per-entry write, no order\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, kRuleUnorderedIter), 0);
+  EXPECT_EQ(count_rule(fs, kRuleStaleSuppression), 0);
+}
+
+TEST(R1UnorderedIter, PrecedingLineAnnotationSuppresses) {
+  const auto fs = run_one(
+      "src/a.cpp",
+      "std::unordered_map<int, int> m;\n"
+      "void f() {\n"
+      "  // pythia-lint: allow(unordered-iter) keys sorted after collect\n"
+      "  for (auto& [k, v] : m) v = 0;\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, kRuleUnorderedIter), 0);
+  EXPECT_EQ(count_rule(fs, kRuleStaleSuppression), 0);
+}
+
+// ----------------------------------------------------- R2: wall-clock ----
+
+TEST(R2WallClock, FlagsClockAndEntropyPrimitives) {
+  const auto fs = run_one(
+      "src/a.cpp",
+      "auto a = std::chrono::steady_clock::now();\n"
+      "auto b = std::chrono::system_clock::now();\n"
+      "auto c = std::chrono::high_resolution_clock::now();\n"
+      "std::random_device rd;\n"
+      "int d = std::rand();\n"
+      "long e = time(nullptr);\n");
+  EXPECT_EQ(count_rule(fs, kRuleWallClock), 6);
+}
+
+TEST(R2WallClock, AllowlistedPathIsClean) {
+  const auto fs = run_one("allowed/pool.cpp",
+                          "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(count_rule(fs, kRuleWallClock), 0);
+}
+
+TEST(R2WallClock, MethodAndDeclarationNamedTimeAreClean) {
+  const auto fs = run_one("src/a.cpp",
+                          "struct Sim { double time() const; };\n"
+                          "double g(const Sim& s) { return s.time(); }\n"
+                          "SimTime time() ;\n");
+  EXPECT_EQ(count_rule(fs, kRuleWallClock), 0);
+}
+
+TEST(R2WallClock, ReturnTimeCallIsFlagged) {
+  const auto fs =
+      run_one("src/a.cpp", "long f() { return time(nullptr); }\n");
+  EXPECT_EQ(count_rule(fs, kRuleWallClock), 1);
+}
+
+TEST(R2WallClock, AnnotationSuppresses) {
+  const auto fs = run_one(
+      "src/a.cpp",
+      "// pythia-lint: allow(wall-clock) feeds counters only, not results\n"
+      "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(count_rule(fs, kRuleWallClock), 0);
+  EXPECT_EQ(count_rule(fs, kRuleStaleSuppression), 0);
+}
+
+// -------------------------------------------------- R3: pointer-order ----
+
+TEST(R3PointerOrder, FlagsPointerKeyedOrderedContainers) {
+  const auto fs = run_one("src/a.cpp",
+                          "std::map<Flow*, int> by_flow;\n"
+                          "std::set<const Node*> nodes;\n");
+  EXPECT_EQ(count_rule(fs, kRulePointerOrder), 2);
+}
+
+TEST(R3PointerOrder, PointerValueIsFine) {
+  const auto fs = run_one("src/a.cpp",
+                          "std::map<int, Flow*> by_id;\n"
+                          "std::set<long> ids;\n");
+  EXPECT_EQ(count_rule(fs, kRulePointerOrder), 0);
+}
+
+TEST(R3PointerOrder, FlagsComparatorLessSortOfPointerVector) {
+  const auto fs = run_one("src/a.cpp",
+                          "std::vector<Flow*> live;\n"
+                          "void f() { std::sort(live.begin(), live.end()); "
+                          "}\n");
+  EXPECT_EQ(count_rule(fs, kRulePointerOrder), 1);
+}
+
+TEST(R3PointerOrder, SortWithComparatorIsFine) {
+  const auto fs = run_one(
+      "src/a.cpp",
+      "std::vector<Flow*> live;\n"
+      "void f() {\n"
+      "  std::sort(live.begin(), live.end(),\n"
+      "            [](const Flow* a, const Flow* b) { return a->id < b->id; "
+      "});\n"
+      "}\n");
+  EXPECT_EQ(count_rule(fs, kRulePointerOrder), 0);
+}
+
+TEST(R3PointerOrder, AnnotationSuppresses) {
+  const auto fs = run_one(
+      "src/a.cpp",
+      "std::vector<Flow*> live;\n"
+      "// pythia-lint: allow(pointer-order) pointers are arena-ordered\n"
+      "void g() { std::sort(live.begin(), live.end()); }\n");
+  EXPECT_EQ(count_rule(fs, kRulePointerOrder), 0);
+}
+
+// ------------------------------------------------- R5: suppressions ------
+
+TEST(R5Suppressions, UnknownRuleIsReported) {
+  const auto fs = run_one(
+      "src/a.cpp", "// pythia-lint: allow(made-up-rule) because reasons\n");
+  EXPECT_EQ(count_rule(fs, kRuleBadSuppression), 1);
+}
+
+TEST(R5Suppressions, MissingJustificationIsReported) {
+  const auto fs =
+      run_one("src/a.cpp", "// pythia-lint: allow(unordered-iter)\n");
+  EXPECT_EQ(count_rule(fs, kRuleBadSuppression), 1);
+}
+
+TEST(R5Suppressions, MalformedAnnotationIsReported) {
+  const auto fs = run_one("src/a.cpp", "// pythia-lint: disable everything\n");
+  EXPECT_EQ(count_rule(fs, kRuleBadSuppression), 1);
+}
+
+TEST(R5Suppressions, StaleAnnotationIsReported) {
+  const auto fs = run_one(
+      "src/a.cpp",
+      "// pythia-lint: allow(unordered-iter) there used to be a loop here\n"
+      "int x = 0;\n");
+  ASSERT_EQ(count_rule(fs, kRuleStaleSuppression), 1);
+  EXPECT_EQ(fs[0].line, 1);
+}
+
+TEST(R5Suppressions, WrongRuleAnnotationIsStaleAndFindingSurvives) {
+  const auto fs = run_one(
+      "src/a.cpp",
+      "std::unordered_map<int, int> m;\n"
+      "// pythia-lint: allow(wall-clock) wrong rule for this statement\n"
+      "void f() { for (auto& kv : m) (void)kv; }\n");
+  EXPECT_EQ(count_rule(fs, kRuleUnorderedIter), 1);
+  EXPECT_EQ(count_rule(fs, kRuleStaleSuppression), 1);
+}
+
+// ------------------------------------------------------ output format ----
+
+TEST(Output, ClangStyleAndDeterministicOrder) {
+  const auto fs = run({
+      SourceFile{"src/b.cpp", "int a = std::rand();\n"},
+      SourceFile{"src/a.cpp",
+                 "int a = std::rand();\nint b = std::rand();\n"},
+  });
+  ASSERT_EQ(fs.size(), 3u);
+  EXPECT_EQ(fs[0].file, "src/a.cpp");
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_EQ(fs[1].line, 2);
+  EXPECT_EQ(fs[2].file, "src/b.cpp");
+  const std::string line = format_finding(fs[0], false);
+  EXPECT_EQ(line.rfind("src/a.cpp:1:", 0), 0u);
+  EXPECT_NE(line.find(" wall-clock: "), std::string::npos);
+  const std::string with_fix = format_finding(fs[0], true);
+  EXPECT_NE(with_fix.find("suggestion:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pythia::lint
