@@ -41,10 +41,10 @@ RunnerCounters ParallelRunner::counters() const {
   return c;
 }
 
-void ParallelRunner::begin_batch() { batch_t0_ns_ = steady_ns(); }
+std::uint64_t ParallelRunner::begin_batch() const { return steady_ns(); }
 
-void ParallelRunner::end_batch() {
-  wall_seconds_ += static_cast<double>(steady_ns() - batch_t0_ns_) / 1e9;
+void ParallelRunner::end_batch(std::uint64_t batch_t0_ns) {
+  wall_seconds_ += static_cast<double>(steady_ns() - batch_t0_ns) / 1e9;
 }
 
 }  // namespace pythia::exp

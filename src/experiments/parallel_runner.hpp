@@ -58,7 +58,7 @@ class ParallelRunner {
   std::vector<T> map(std::size_t n, const std::function<T(std::size_t)>& fn) {
     std::vector<T> results(n);
     std::vector<std::exception_ptr> errors(n);
-    begin_batch();
+    const std::uint64_t batch_t0_ns = begin_batch();
     for (std::size_t i = 0; i < n; ++i) {
       pool().submit([&, i] {
         try {
@@ -69,7 +69,7 @@ class ParallelRunner {
       });
     }
     pool().wait_idle();
-    end_batch();
+    end_batch(batch_t0_ns);
     for (auto& err : errors) {
       if (err) std::rethrow_exception(err);
     }
@@ -86,11 +86,13 @@ class ParallelRunner {
   [[nodiscard]] util::ThreadPool& pool() { return *pool_; }
   // Wall-clock sampling is confined to these two and to the counters they
   // feed; timestamps never flow through map() or into result payloads.
-  void begin_batch();
-  void end_batch();
+  // The batch start time stays a per-call value (returned by begin_batch(),
+  // consumed by end_batch()) so concurrent map() calls on one runner don't
+  // clobber each other's timestamps.
+  [[nodiscard]] std::uint64_t begin_batch() const;
+  void end_batch(std::uint64_t batch_t0_ns);
 
   std::unique_ptr<util::ThreadPool> pool_;
-  std::uint64_t batch_t0_ns_ = 0;  // counters path only
   double wall_seconds_ = 0.0;
 };
 
