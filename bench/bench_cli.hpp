@@ -9,6 +9,8 @@
 #include <cstring>
 #include <string>
 
+#include "experiments/crash_handler.hpp"
+
 namespace pythia::benchcli {
 
 struct Args {
@@ -18,6 +20,9 @@ struct Args {
 };
 
 inline Args parse(int argc, char** argv) {
+  // Long sweeps should die loudly: on a crash/SIGTERM the handler flushes
+  // logs and prints the active run's (point, arm, seed) and sim position.
+  exp::install_crash_handler();
   Args args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "sim/snapshot.hpp"
 #include "util/log.hpp"
 
 namespace pythia::core {
@@ -212,6 +213,31 @@ void Allocator::retire_volume(net::NodeId src_server, net::NodeId dst_server,
   if (retired <= 0) return;
   agg.outstanding -= retired;
   if (agg.installed) pack_onto(agg.path, -retired);
+}
+
+void Allocator::encode_state(sim::StateEncoder& enc) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(aggregates_.size());
+  // pythia-lint: allow(unordered-iter) key collection only; sorted below
+  for (const auto& [key, agg] : aggregates_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  enc.put_u32(static_cast<std::uint32_t>(keys.size()));
+  for (std::uint64_t key : keys) {
+    const Aggregate& agg = aggregates_.at(key);
+    enc.put_u64(key);
+    enc.put_i64(agg.outstanding);
+    enc.put_bool(agg.installed);
+    enc.put_u32(agg.path.value());
+    enc.put_u32(agg.src.value());
+    enc.put_u32(agg.dst.value());
+  }
+  enc.put_u32(static_cast<std::uint32_t>(link_outstanding_.size()));
+  for (std::int64_t v : link_outstanding_) enc.put_i64(v);
+  enc.put_bool(suspended_);
+  enc.put_u64(allocations_);
+  enc.put_u64(reallocations_);
+  enc.put_u64(installs_suppressed_);
+  enc.put_u64(installs_refused_);
 }
 
 }  // namespace pythia::core

@@ -93,6 +93,11 @@ class Allocator {
   [[nodiscard]] net::PathId choose_path(net::NodeId src, net::NodeId dst,
                                         util::Bytes volume) const;
 
+  /// Serializes allocator state for snapshots: every aggregate (sorted by
+  /// key) with its packing assignment, per-link outstanding volume, the
+  /// suspension flag, and counters.
+  void encode_state(sim::StateEncoder& enc) const;
+
  private:
   struct Aggregate {
     std::int64_t outstanding = 0;

@@ -4,6 +4,7 @@
 
 #include "core/allocator.hpp"
 #include "core/watchdog.hpp"
+#include "sim/snapshot.hpp"
 #include "util/log.hpp"
 
 namespace pythia::core {
@@ -176,6 +177,79 @@ util::Bytes Collector::mean_destination_outstanding() const {
     ++live;
   }
   return live == 0 ? util::Bytes::zero() : util::Bytes{total / live};
+}
+
+void Collector::encode_state(sim::StateEncoder& enc) const {
+  enc.put_u32(static_cast<std::uint32_t>(reducer_location_.size()));
+  for (const auto& [key, server] : reducer_location_) {
+    enc.put_u64(key.job_serial);
+    enc.put_u64(key.reduce_index);
+    enc.put_u32(server.value());
+  }
+
+  enc.put_u32(static_cast<std::uint32_t>(waiting_.size()));
+  for (const auto& [key, held] : waiting_) {
+    enc.put_u64(key.job_serial);
+    enc.put_u64(key.reduce_index);
+    enc.put_u32(static_cast<std::uint32_t>(held.size()));
+    for (const HeldIntent& h : held) {
+      enc.put_u64(h.intent.job_serial);
+      enc.put_u64(h.intent.map_index);
+      enc.put_u64(h.intent.reduce_index);
+      enc.put_u32(h.intent.src_server.value());
+      enc.put_i64(h.intent.predicted_wire_bytes.count());
+      enc.put_time(h.intent.emitted_at);
+      enc.put_time(h.held_at);
+    }
+  }
+  enc.put_time(next_expiry_);
+
+  enc.put_u32(static_cast<std::uint32_t>(batch_.size()));
+  for (const auto& [pair, bytes] : batch_) {
+    enc.put_u32(pair.first);
+    enc.put_u32(pair.second);
+    enc.put_i64(bytes);
+  }
+  enc.put_bool(flush_pending_);
+
+  enc.put_u32(static_cast<std::uint32_t>(pair_seen_.size()));
+  for (const auto& [pair, seen] : pair_seen_) {
+    enc.put_u32(pair.first);
+    enc.put_u32(pair.second);
+    enc.put_bool(seen);
+  }
+
+  auto encode_node_map = [&enc](const auto& map, auto&& encode_value) {
+    std::vector<std::uint32_t> nodes;
+    nodes.reserve(map.size());
+    // Key collection only (the generic param hides the unordered type from
+    // pythia-lint); order is fixed by the sort below.
+    for (const auto& [node, value] : map) nodes.push_back(node.value());
+    std::sort(nodes.begin(), nodes.end());
+    enc.put_u32(static_cast<std::uint32_t>(nodes.size()));
+    for (std::uint32_t n : nodes) {
+      enc.put_u32(n);
+      encode_value(map.at(net::NodeId{n}));
+    }
+  };
+  encode_node_map(dst_outstanding_,
+                  [&enc](std::int64_t v) { enc.put_i64(v); });
+  encode_node_map(curves_, [&enc](const std::vector<PredictionPoint>& curve) {
+    enc.put_u32(static_cast<std::uint32_t>(curve.size()));
+    for (const PredictionPoint& p : curve) {
+      enc.put_time(p.at);
+      enc.put_i64(p.cumulative.count());
+    }
+  });
+  encode_node_map(predicted_totals_,
+                  [&enc](std::int64_t v) { enc.put_i64(v); });
+
+  enc.put_u64(received_);
+  enc.put_u64(held_);
+  enc.put_u64(batches_);
+  enc.put_u64(expired_);
+  enc.put_u64(purged_on_completion_);
+  enc.put_u64(underflows_);
 }
 
 }  // namespace pythia::core

@@ -26,6 +26,10 @@
 #include "core/prediction.hpp"
 #include "sim/simulation.hpp"
 
+namespace pythia::sim {
+class StateEncoder;
+}
+
 namespace pythia::core {
 
 class Allocator;
@@ -107,6 +111,11 @@ class Collector {
   /// reducer-location resolution otherwise.
   [[nodiscard]] const std::vector<PredictionPoint>& predicted_curve(
       net::NodeId server) const;
+
+  /// Serializes the collector's logical state for snapshots: reducer
+  /// locations, held intents, the pending batch, outstanding/predicted
+  /// volume maps (sorted by server id), and counters.
+  void encode_state(sim::StateEncoder& enc) const;
 
  private:
   struct ReducerKey {

@@ -1,6 +1,7 @@
 #include "core/instrumentation.hpp"
 
 #include "core/collector.hpp"
+#include "sim/snapshot.hpp"
 #include "util/log.hpp"
 
 namespace pythia::core {
@@ -59,6 +60,13 @@ void Instrumentation::on_reducer_started(std::size_t job_serial,
                   collector_->reducer_located(job_serial, reduce_index, server);
                 });
               });
+}
+
+void Instrumentation::encode_state(sim::StateEncoder& enc) const {
+  enc.put_u64(intents_);
+  enc.put_u64(decodes_);
+  enc.put_i64(control_bytes_.count());
+  channel_.encode_state(enc);
 }
 
 }  // namespace pythia::core

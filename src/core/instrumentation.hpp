@@ -57,6 +57,10 @@ class Instrumentation final : public hadoop::EngineObserver {
   /// The (possibly lossy) management channel this slave's messages traverse.
   [[nodiscard]] const sim::FaultChannel& channel() const { return channel_; }
 
+  /// Serializes instrumentation state for snapshots: emission counters and
+  /// the management fault channel's delivery state.
+  void encode_state(sim::StateEncoder& enc) const;
+
  private:
   sim::Simulation* sim_;
   Collector* collector_;

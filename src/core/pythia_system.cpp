@@ -84,4 +84,11 @@ void PythiaSystem::on_job_completed(std::size_t job_serial,
   collector_->job_completed(job_serial);
 }
 
+void PythiaSystem::encode_state(sim::StateEncoder& enc) const {
+  instrumentation_->encode_state(enc);
+  collector_->encode_state(enc);
+  allocator_->encode_state(enc);
+  watchdog_->encode_state(enc);
+}
+
 }  // namespace pythia::core

@@ -68,6 +68,10 @@ class PythiaSystem final : public hadoop::EngineObserver {
   void on_job_completed(std::size_t job_serial,
                         const hadoop::JobResult& result) override;
 
+  /// Serializes the entire Pythia stack for snapshots: instrumentation,
+  /// collector, allocator, and watchdog state, in that fixed order.
+  void encode_state(sim::StateEncoder& enc) const;
+
  private:
   sdn::Controller* controller_;
   PythiaConfig cfg_;

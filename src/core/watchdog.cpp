@@ -2,6 +2,7 @@
 
 #include "core/allocator.hpp"
 #include "sdn/controller.hpp"
+#include "sim/snapshot.hpp"
 #include "util/log.hpp"
 
 namespace pythia::core {
@@ -100,6 +101,19 @@ void ControlPlaneWatchdog::evaluate() {
   }
 
   if (!engaged_ && !healthy) healthy_since_ = util::SimTime{-1};
+}
+
+void ControlPlaneWatchdog::encode_state(sim::StateEncoder& enc) const {
+  enc.put_bool(engaged_);
+  enc.put_time(pending_since_);
+  enc.put_time(last_notification_);
+  enc.put_time(healthy_since_);
+  enc.put_time(window_start_);
+  enc.put_u64(window_base_attempts_);
+  enc.put_u64(window_base_failures_);
+  enc.put_u64(window_base_table_rejects_);
+  enc.put_u64(fallbacks_);
+  enc.put_u64(reengagements_);
 }
 
 }  // namespace pythia::core

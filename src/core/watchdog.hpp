@@ -24,6 +24,10 @@ namespace pythia::sdn {
 class Controller;
 }
 
+namespace pythia::sim {
+class StateEncoder;
+}
+
 namespace pythia::core {
 
 class Allocator;
@@ -78,6 +82,10 @@ class ControlPlaneWatchdog {
   [[nodiscard]] double recent_install_failure_rate() const;
 
   [[nodiscard]] const WatchdogConfig& config() const { return cfg_; }
+
+  /// Serializes watchdog state for snapshots: engagement/breaker state, the
+  /// staleness markers, and the failure-rate sampling window baselines.
+  void encode_state(sim::StateEncoder& enc) const;
 
  private:
   [[nodiscard]] bool install_failures_excessive() const;

@@ -1,0 +1,162 @@
+#include "experiments/crash_handler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <unistd.h>
+
+#include "util/log.hpp"
+
+namespace pythia::exp {
+
+namespace {
+
+constexpr std::size_t kLabelCap = 128;
+constexpr std::size_t kMaxThreads = 256;
+
+/// One thread's crash context. All fields are lock-free atomics (or bytes
+/// only written before `active` flips true) so the signal handler can read
+/// them without synchronization.
+struct RunStamp {
+  std::atomic<bool> active{false};
+  std::atomic<std::size_t> run_index{0};
+  std::atomic<std::int64_t> sim_time_ns{-1};
+  std::atomic<std::uint64_t> events_fired{0};
+  char label[kLabelCap] = {};
+};
+
+/// Global registry of per-thread stamps. Slots are claimed once per thread
+/// and never freed (threads in the pool live for the process lifetime);
+/// the handler scans only claimed slots.
+RunStamp g_stamps[kMaxThreads];
+std::atomic<std::size_t> g_stamp_count{0};
+
+RunStamp* thread_stamp() {
+  thread_local RunStamp* slot = [] {
+    const std::size_t i = g_stamp_count.fetch_add(1);
+    return i < kMaxThreads ? &g_stamps[i] : nullptr;
+  }();
+  return slot;
+}
+
+/// write(2)-only formatting helpers — the only operations that are safe
+/// inside a signal handler.
+void write_str(const char* s) {
+  const auto ignored = write(STDERR_FILENO, s, std::strlen(s));
+  (void)ignored;
+}
+
+void write_u64(std::uint64_t v) {
+  char buf[21];
+  char* p = buf + sizeof(buf);
+  *--p = '\0';
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  write_str(p);
+}
+
+void write_i64(std::int64_t v) {
+  if (v < 0) {
+    write_str("-");
+    write_u64(static_cast<std::uint64_t>(-v));
+  } else {
+    write_u64(static_cast<std::uint64_t>(v));
+  }
+}
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGTERM: return "SIGTERM";
+    default: return "signal";
+  }
+}
+
+void crash_report(int sig) {
+  write_str("\n=== pythia crash handler: ");
+  write_str(signal_name(sig));
+  write_str(" ===\n");
+  const std::size_t n =
+      std::min(g_stamp_count.load(std::memory_order_acquire), kMaxThreads);
+  bool any = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const RunStamp& s = g_stamps[i];
+    if (!s.active.load(std::memory_order_acquire)) continue;
+    any = true;
+    write_str("  run #");
+    write_u64(s.run_index.load(std::memory_order_relaxed));
+    if (s.label[0] != '\0') {
+      write_str(" (");
+      write_str(s.label);
+      write_str(")");
+    }
+    const std::int64_t t = s.sim_time_ns.load(std::memory_order_relaxed);
+    write_str(": sim_time_ns=");
+    write_i64(t);
+    write_str(" events_fired=");
+    write_u64(s.events_fired.load(std::memory_order_relaxed));
+    write_str("\n");
+  }
+  if (!any) write_str("  (no run in flight)\n");
+  write_str("=== end crash report ===\n");
+  // Not strictly async-signal-safe, but the process is dying; losing the
+  // buffered log tail is the alternative.
+  util::flush_logs();
+}
+
+void on_fatal_signal(int sig) {
+  crash_report(sig);
+  // Restore the default disposition and re-raise so the exit status (and
+  // any core dump) is what the OS would have produced without us.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void install_crash_handler() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL, SIGTERM}) {
+      std::signal(sig, on_fatal_signal);
+    }
+  });
+}
+
+void crash_stamp_run(std::size_t run_index, const std::string& label) {
+  RunStamp* s = thread_stamp();
+  if (s == nullptr) return;
+  s->active.store(false, std::memory_order_release);
+  s->run_index.store(run_index, std::memory_order_relaxed);
+  s->sim_time_ns.store(-1, std::memory_order_relaxed);
+  s->events_fired.store(0, std::memory_order_relaxed);
+  const std::size_t len = std::min(label.size(), kLabelCap - 1);
+  std::memcpy(s->label, label.data(), len);
+  s->label[len] = '\0';
+  s->active.store(true, std::memory_order_release);
+}
+
+void crash_stamp_progress(std::int64_t sim_time_ns,
+                          std::uint64_t events_fired) {
+  RunStamp* s = thread_stamp();
+  if (s == nullptr) return;
+  s->sim_time_ns.store(sim_time_ns, std::memory_order_relaxed);
+  s->events_fired.store(events_fired, std::memory_order_relaxed);
+}
+
+void crash_stamp_clear() {
+  RunStamp* s = thread_stamp();
+  if (s == nullptr) return;
+  s->active.store(false, std::memory_order_release);
+}
+
+}  // namespace pythia::exp

@@ -1,0 +1,172 @@
+#include "experiments/manifest.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pythia::exp {
+
+namespace {
+
+constexpr const char* kHeaderMagic = "pythia-sweep-manifest v1";
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_hex_u64(const std::string& s, std::uint64_t& out) {
+  if (s.size() < 3 || s[0] != '0' || s[1] != 'x') return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = 2; i < s.size(); ++i) {
+    const char c = s[i];
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  out = v;
+  return true;
+}
+
+/// "key=value" token split; returns false when `token` lacks the key.
+bool token_value(const std::string& token, const char* key,
+                 std::string& out) {
+  const std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0) return false;
+  out = token.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+std::size_t SweepManifest::open(const std::string& path,
+                                std::uint64_t fingerprint,
+                                std::size_t run_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = path;
+  entries_.assign(run_count, std::nullopt);
+
+  std::size_t loaded_ok = 0;
+  bool valid = false;
+  {
+    std::ifstream in(path_);
+    if (in) {
+      std::string line;
+      if (std::getline(in, line) && line == kHeaderMagic) {
+        std::string fp_line;
+        std::string runs_line;
+        if (std::getline(in, fp_line) && std::getline(in, runs_line)) {
+          std::uint64_t fp = 0;
+          std::string fp_str;
+          std::string runs_str;
+          std::istringstream fp_stream(fp_line);
+          std::istringstream runs_stream(runs_line);
+          std::string fp_key;
+          std::string runs_key;
+          fp_stream >> fp_key >> fp_str;
+          runs_stream >> runs_key >> runs_str;
+          if (fp_key == "fingerprint" && parse_hex_u64(fp_str, fp) &&
+              fp == fingerprint && runs_key == "runs" &&
+              runs_str == std::to_string(run_count)) {
+            valid = true;
+            while (std::getline(in, line)) {
+              std::istringstream ls(line);
+              std::string tag;
+              ls >> tag;
+              if (tag != "run") continue;
+              std::size_t index = run_count;
+              Entry entry;
+              std::string token;
+              while (ls >> token) {
+                std::string value;
+                if (token_value(token, "index", value)) {
+                  index = static_cast<std::size_t>(std::stoull(value));
+                } else if (token_value(token, "status", value)) {
+                  entry.ok = value == "ok";
+                } else if (token_value(token, "value", value)) {
+                  if (!parse_hex_u64(value, entry.value_bits)) {
+                    index = run_count;  // corrupt line: ignore
+                    break;
+                  }
+                } else if (token_value(token, "kind", value)) {
+                  entry.failure_kind = value;
+                } else if (token_value(token, "attempts", value)) {
+                  entry.attempts =
+                      static_cast<std::uint32_t>(std::stoul(value));
+                }
+              }
+              if (index < run_count) entries_[index] = entry;
+            }
+            for (const auto& e : entries_) {
+              if (e.has_value() && e->ok) ++loaded_ok;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (!valid) {
+    // Fresh start: write the header, truncating whatever was there.
+    entries_.assign(run_count, std::nullopt);
+    std::ofstream out(path_, std::ios::trunc);
+    out << kHeaderMagic << "\n";
+    out << "fingerprint " << hex_u64(fingerprint) << "\n";
+    out << "runs " << run_count << "\n";
+    out.flush();
+  }
+  return loaded_ok;
+}
+
+bool SweepManifest::has_ok(std::size_t index) const {
+  assert(index < entries_.size());
+  return entries_[index].has_value() && entries_[index]->ok;
+}
+
+double SweepManifest::value(std::size_t index) const {
+  assert(has_ok(index));
+  return std::bit_cast<double>(entries_[index]->value_bits);
+}
+
+void SweepManifest::record_ok(std::size_t index, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(index < entries_.size());
+  Entry entry;
+  entry.ok = true;
+  entry.value_bits = std::bit_cast<std::uint64_t>(value);
+  entries_[index] = entry;
+  append_line("run index=" + std::to_string(index) +
+              " status=ok value=" + hex_u64(entry.value_bits));
+}
+
+void SweepManifest::record_failure(std::size_t index, const std::string& kind,
+                                   std::uint32_t attempts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(index < entries_.size());
+  Entry entry;
+  entry.ok = false;
+  entry.failure_kind = kind;
+  entry.attempts = attempts;
+  entries_[index] = entry;
+  append_line("run index=" + std::to_string(index) +
+              " status=failed kind=" + kind +
+              " attempts=" + std::to_string(attempts));
+}
+
+void SweepManifest::append_line(const std::string& line) {
+  if (path_.empty()) return;
+  std::ofstream out(path_, std::ios::app);
+  out << line << "\n";
+  out.flush();
+}
+
+}  // namespace pythia::exp

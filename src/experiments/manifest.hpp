@@ -1,0 +1,72 @@
+// Sweep checkpoint manifest: resumable progress for long parameter sweeps.
+//
+// An append-only text file records one line per finished run (ok with its
+// result value, or failed with the failure kind). A re-launched sweep opens
+// the same manifest, skips every run already recorded ok, and re-attempts
+// failed/missing ones — so a crash or kill loses at most the runs that were
+// in flight. The header carries the sweep's config fingerprint; a manifest
+// written under a different fingerprint is discarded (a resumed sweep must
+// be the same universe, or its cached values would silently be wrong).
+//
+// Values are stored as hex-encoded IEEE-754 bit patterns, never formatted
+// decimals, so a resumed sweep's output is bit-identical to a clean one.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pythia::exp {
+
+class SweepManifest {
+ public:
+  struct Entry {
+    bool ok = false;
+    /// IEEE-754 bit pattern of the run's result value (valid when ok).
+    std::uint64_t value_bits = 0;
+    /// Failure kind name ("timeout", "exception") when !ok.
+    std::string failure_kind;
+    std::uint32_t attempts = 0;
+  };
+
+  SweepManifest() = default;
+  SweepManifest(const SweepManifest&) = delete;
+  SweepManifest& operator=(const SweepManifest&) = delete;
+
+  /// Opens (or creates) the manifest at `path` for a sweep of `run_count`
+  /// runs under `fingerprint`. An existing file with a matching header is
+  /// loaded — completed runs become resumable; a mismatched or corrupt file
+  /// is truncated and the sweep starts fresh. Returns the number of runs
+  /// loaded as ok.
+  std::size_t open(const std::string& path, std::uint64_t fingerprint,
+                   std::size_t run_count);
+
+  [[nodiscard]] bool is_open() const { return !path_.empty(); }
+  [[nodiscard]] std::size_t run_count() const { return entries_.size(); }
+
+  /// True when run `index` already completed ok in a previous launch.
+  [[nodiscard]] bool has_ok(std::size_t index) const;
+  /// The recorded value for an ok run (bit-exact).
+  [[nodiscard]] double value(std::size_t index) const;
+  /// The recorded entry, if any (ok or failed).
+  [[nodiscard]] const std::optional<Entry>& entry(std::size_t index) const {
+    return entries_[index];
+  }
+
+  /// Records a run completion; appends to the file and flushes immediately
+  /// so a crash right after loses nothing. Thread-safe.
+  void record_ok(std::size_t index, double value);
+  void record_failure(std::size_t index, const std::string& kind,
+                      std::uint32_t attempts);
+
+ private:
+  void append_line(const std::string& line);
+
+  std::string path_;
+  std::vector<std::optional<Entry>> entries_;
+  std::mutex mu_;
+};
+
+}  // namespace pythia::exp

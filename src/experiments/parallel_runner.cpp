@@ -1,6 +1,12 @@
 #include "experiments/parallel_runner.hpp"
 
 #include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "experiments/crash_handler.hpp"
+#include "sim/simulation.hpp"
 
 namespace pythia::exp {
 
@@ -17,7 +23,102 @@ std::uint64_t steady_ns() {
           now.time_since_epoch())
           .count());
 }
+/// True when the comma-separated index list in env var `name` contains
+/// `index`. Test-only hook for the crash-injected sweep CI job; unset in
+/// normal operation, so the parse cost is a getenv.
+bool env_index_listed(const char* name, std::size_t index) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return false;
+  std::istringstream ss{std::string(raw)};
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    try {
+      if (!token.empty() && std::stoull(token) == index) return true;
+    } catch (const std::exception&) {
+      // Malformed token: ignore (injection is a test-only convenience).
+    }
+  }
+  return false;
+}
+
 }  // namespace
+
+const char* run_failure_name(RunFailureKind kind) {
+  switch (kind) {
+    case RunFailureKind::kNone:
+      return "none";
+    case RunFailureKind::kException:
+      return "exception";
+    case RunFailureKind::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+void RunContext::bind(sim::Simulation& sim) const {
+  if (inject_fault_) {
+    throw std::runtime_error(
+        "injected run fault (PYTHIA_INJECT_RUN_FAULT) for run " +
+        std::to_string(index_));
+  }
+  const std::uint64_t deadline = deadline_ns_;
+  const bool inject_timeout = inject_timeout_;
+  if (deadline == 0 && !inject_timeout) {
+    // No guard armed: still stamp progress for the crash handler, riding
+    // the same cooperative poll the deadline would use.
+    sim.install_abort_check([&sim] {
+      crash_stamp_progress(sim.now().ns(), sim.queue().events_fired());
+      return false;
+    });
+    return;
+  }
+  sim.install_abort_check([&sim, deadline, inject_timeout] {
+    crash_stamp_progress(sim.now().ns(), sim.queue().events_fired());
+    if (inject_timeout) return true;
+    if (deadline == 0) return false;
+    // pythia-lint: allow(wall-clock) cooperative run deadline; only decides
+    // whether a run dies, never what a surviving run computes
+    const auto now_ns = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(now_ns)
+                   .count()) >= deadline;
+  });
+}
+
+RunContext ParallelRunner::make_context(std::size_t index,
+                                        std::size_t attempt,
+                                        const RunGuard& guard) {
+  RunContext ctx;
+  ctx.index_ = index;
+  ctx.attempt_ = attempt;
+  if (guard.timeout_seconds > 0.0) {
+    ctx.deadline_ns_ =
+        steady_ns() +
+        static_cast<std::uint64_t>(guard.timeout_seconds * 1e9);
+  }
+  // Injected faults hit only the first attempt: the retry then succeeds,
+  // exercising the recovery path end to end.
+  if (attempt == 1) {
+    ctx.inject_fault_ = env_index_listed("PYTHIA_INJECT_RUN_FAULT", index);
+    ctx.inject_timeout_ =
+        env_index_listed("PYTHIA_INJECT_RUN_TIMEOUT", index);
+  }
+  return ctx;
+}
+
+std::string ParallelRunner::describe_abort(const sim::AbortedError& e) {
+  return "run timed out at sim t=" + std::to_string(e.at.ns()) +
+         "ns after " + std::to_string(e.events_fired) + " events";
+}
+
+void ParallelRunner::install_crash_reporting() { install_crash_handler(); }
+
+void ParallelRunner::stamp_run(std::size_t index, const RunGuard& guard) {
+  crash_stamp_run(index, guard.describe ? guard.describe(index)
+                                        : std::string());
+}
+
+void ParallelRunner::clear_stamp() { crash_stamp_clear(); }
 
 ParallelRunner::ParallelRunner(std::size_t threads)
     : pool_(std::make_unique<util::ThreadPool>(threads)) {}

@@ -148,15 +148,37 @@ void Scenario::install_static_oracle() {
 }
 
 hadoop::JobResult Scenario::run_job(const hadoop::JobSpec& spec) {
-  std::optional<hadoop::JobResult> result;
-  engine_->submit(spec, [&result](const hadoop::JobResult& r) { result = r; });
+  submit_job(spec);
+  return finish();
+}
+
+void Scenario::submit_job(const hadoop::JobSpec& spec) {
+  assert(!job_submitted_ && "one outstanding job at a time");
+  job_submitted_ = true;
+  pending_result_.reset();
+  engine_->submit(spec,
+                  [this](const hadoop::JobResult& r) { pending_result_ = r; });
+}
+
+void Scenario::run_until(util::SimTime until) { sim_->run_until(until); }
+
+void Scenario::run_to_event_count(std::uint64_t events) {
+  while (sim_->queue().events_fired() < events && sim_->queue().run_one()) {
+  }
+}
+
+hadoop::JobResult Scenario::finish() {
+  assert(job_submitted_ && "finish() without submit_job()");
   // Run until the queue drains; the engine keeps events pending while the
   // job is live, and all periodic apps self-quiesce once traffic stops.
   sim_->run();
-  if (!result.has_value()) {
+  if (!pending_result_.has_value()) {
     throw std::runtime_error("simulation drained before job completion");
   }
-  return std::move(*result);
+  job_submitted_ = false;
+  hadoop::JobResult result = std::move(*pending_result_);
+  pending_result_.reset();
+  return result;
 }
 
 }  // namespace pythia::exp

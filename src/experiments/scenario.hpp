@@ -94,6 +94,23 @@ class Scenario {
   /// result. Can be called repeatedly for job sequences.
   hadoop::JobResult run_job(const hadoop::JobSpec& spec);
 
+  // --- partial-run API (checkpoint capture, divergence bisection) ---
+
+  /// Submits `spec` without running the simulation. Pair with run_until /
+  /// run_to_event_count and close with finish(). One outstanding job at a
+  /// time (asserted).
+  void submit_job(const hadoop::JobSpec& spec);
+  /// Runs events with timestamp <= `until`; the clock parks at `until`.
+  void run_until(util::SimTime until);
+  /// Runs until the simulation has fired `events` events in total (counted
+  /// from construction, i.e. an absolute event cursor); stops early if the
+  /// queue drains.
+  void run_to_event_count(std::uint64_t events);
+  /// True once the job submitted via submit_job has completed.
+  [[nodiscard]] bool job_done() const { return pending_result_.has_value(); }
+  /// Drains the queue and returns the submitted job's result.
+  hadoop::JobResult finish();
+
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
   [[nodiscard]] sim::Simulation& simulation() { return *sim_; }
   [[nodiscard]] const net::Topology& topology() const { return topo_; }
@@ -115,6 +132,10 @@ class Scenario {
 
  private:
   void install_static_oracle();
+
+  /// Result slot for the partial-run API; engaged when the job completes.
+  std::optional<hadoop::JobResult> pending_result_;
+  bool job_submitted_ = false;
 
   ScenarioConfig cfg_;
   net::Topology topo_;

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <cstdio>
 
+#include "experiments/checkpoint.hpp"
+#include "experiments/manifest.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -78,6 +80,140 @@ std::vector<SpeedupRow> run_oversubscription_sweep(
   auto rows = run_oversubscription_sweep(sweep, job, points, runner);
   if (counters != nullptr) *counters = runner.counters();
   return rows;
+}
+
+std::uint64_t sweep_fingerprint(const SweepConfig& sweep,
+                                const hadoop::JobSpec& job,
+                                const std::vector<OversubPoint>& points) {
+  // Mix the per-cell scenario fingerprints: every (point, arm, seed) cell's
+  // full universe contributes, so any knob that could change any run's
+  // result changes the fingerprint.
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(points.size());
+  mix(sweep.seeds.size());
+  for (const OversubPoint& point : points) {
+    for (std::size_t arm = 0; arm < 2; ++arm) {
+      for (std::uint64_t seed : sweep.seeds) {
+        ScenarioConfig cfg = sweep.base;
+        cfg.seed = seed;
+        cfg.background.oversubscription = point.ratio;
+        cfg.scheduler = arm == 0 ? sweep.baseline : sweep.treatment;
+        mix(scenario_fingerprint(cfg, job));
+      }
+    }
+  }
+  return h;
+}
+
+GuardedSweepResult run_oversubscription_sweep_guarded(
+    const GuardedSweepConfig& cfg, const hadoop::JobSpec& job,
+    const std::vector<OversubPoint>& points, RunnerCounters* counters) {
+  const SweepConfig& sweep = cfg.sweep;
+  const std::size_t seeds = sweep.seeds.size();
+  const std::size_t runs_per_point = 2 * seeds;
+  const std::size_t total_runs = points.size() * runs_per_point;
+
+  GuardedSweepResult result;
+
+  SweepManifest manifest;
+  std::vector<bool> cached(total_runs, false);
+  if (!cfg.manifest_path.empty()) {
+    result.resumed_runs = manifest.open(
+        cfg.manifest_path, sweep_fingerprint(sweep, job, points), total_runs);
+    for (std::size_t i = 0; i < total_runs; ++i) cached[i] = manifest.has_ok(i);
+  }
+
+  const auto cell_of = [&](std::size_t i) {
+    struct Cell {
+      std::size_t point_idx;
+      std::size_t arm;
+      std::size_t seed_idx;
+    };
+    return Cell{i / runs_per_point, (i % runs_per_point) / seeds, i % seeds};
+  };
+  const auto cell_config = [&](std::size_t i) {
+    const auto cell = cell_of(i);
+    ScenarioConfig run_cfg = sweep.base;
+    run_cfg.seed = sweep.seeds[cell.seed_idx];
+    run_cfg.background.oversubscription = points[cell.point_idx].ratio;
+    run_cfg.scheduler = cell.arm == 0 ? sweep.baseline : sweep.treatment;
+    return run_cfg;
+  };
+
+  RunGuard guard = cfg.guard;
+  if (!guard.describe) {
+    guard.describe = [&, cell_of](std::size_t i) {
+      const auto cell = cell_of(i);
+      return "point " + points[cell.point_idx].label + " arm " +
+             scheduler_name(cell.arm == 0 ? sweep.baseline : sweep.treatment) +
+             " seed " + std::to_string(sweep.seeds[cell.seed_idx]);
+    };
+  }
+
+  ParallelRunner runner(sweep.threads);
+  const auto outcomes = runner.map_guarded<double>(
+      total_runs,
+      [&](std::size_t i, const RunContext& ctx) {
+        if (cached[i]) return manifest.value(i);  // bit-exact resume
+        Scenario scenario(cell_config(i));
+        ctx.bind(scenario.simulation());
+        return scenario.run_job(job).completion_time().seconds();
+      },
+      guard);
+  if (counters != nullptr) *counters = runner.counters();
+
+  // Record outcomes (skip manifest-served runs — already on disk) and
+  // collect typed failures in canonical index order.
+  for (std::size_t i = 0; i < total_runs; ++i) {
+    const GuardedResult<double>& out = outcomes[i];
+    if (out.ok()) {
+      if (manifest.is_open() && !cached[i]) manifest.record_ok(i, out.value);
+      continue;
+    }
+    if (manifest.is_open()) {
+      manifest.record_failure(i, run_failure_name(out.failure),
+                              static_cast<std::uint32_t>(out.attempts));
+    }
+    const auto cell = cell_of(i);
+    SweepRunFailure failure;
+    failure.run_index = i;
+    failure.point_label = points[cell.point_idx].label;
+    failure.arm =
+        scheduler_name(cell.arm == 0 ? sweep.baseline : sweep.treatment);
+    failure.seed = sweep.seeds[cell.seed_idx];
+    failure.kind = out.failure;
+    failure.attempts = out.attempts;
+    failure.message = out.message;
+    result.failures.push_back(std::move(failure));
+  }
+
+  // Aggregate rows over surviving runs only; with zero failures this is
+  // byte-identical to the unguarded sweep.
+  result.rows.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    util::RunningStats base_stats;
+    util::RunningStats treat_stats;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      const auto& base = outcomes[p * runs_per_point + s];
+      const auto& treat = outcomes[p * runs_per_point + seeds + s];
+      if (base.ok()) base_stats.add(base.value);
+      if (treat.ok()) treat_stats.add(treat.value);
+    }
+    SpeedupRow row;
+    row.label = points[p].label;
+    row.baseline_mean_s = base_stats.mean();
+    row.baseline_stddev_s = base_stats.stddev();
+    row.treatment_mean_s = treat_stats.mean();
+    row.treatment_stddev_s = treat_stats.stddev();
+    result.rows.push_back(row);
+  }
+  return result;
 }
 
 util::Table speedup_table(const std::vector<SpeedupRow>& rows,

@@ -70,6 +70,58 @@ struct SweepConfig {
     const SweepConfig& sweep, const hadoop::JobSpec& job,
     const std::vector<OversubPoint>& points, ParallelRunner& runner);
 
+// --- crash-tolerant, resumable sweep (see docs/robustness.md) ---
+
+/// Typed failure of one sweep run, reported in canonical (point, arm, seed)
+/// order instead of aborting the whole sweep.
+struct SweepRunFailure {
+  std::size_t run_index = 0;
+  std::string point_label;
+  std::string arm;  // scheduler name of the failing arm
+  std::uint64_t seed = 0;
+  RunFailureKind kind = RunFailureKind::kNone;
+  std::size_t attempts = 0;
+  std::string message;
+};
+
+struct GuardedSweepConfig {
+  SweepConfig sweep;
+  /// Per-run timeout/retry policy (see RunGuard); default: no timeout,
+  /// one retry.
+  RunGuard guard;
+  /// Checkpoint manifest path; empty disables persistence. A re-launched
+  /// sweep pointing at the same manifest skips runs already completed ok
+  /// and re-attempts failed/missing ones. The manifest is fingerprinted:
+  /// changing the config, seeds, points, or job starts fresh.
+  std::string manifest_path;
+};
+
+struct GuardedSweepResult {
+  /// Aggregated rows over the runs that completed ok; identical to the
+  /// unguarded sweep's rows whenever every run survives.
+  std::vector<SpeedupRow> rows;
+  /// Runs that exhausted their attempt budget, canonical order.
+  std::vector<SweepRunFailure> failures;
+  /// Runs served bit-exactly from the manifest instead of executed.
+  std::size_t resumed_runs = 0;
+};
+
+/// Stable fingerprint of an entire sweep (base config + job + seeds +
+/// points + arms); keys the resume manifest.
+[[nodiscard]] std::uint64_t sweep_fingerprint(
+    const SweepConfig& sweep, const hadoop::JobSpec& job,
+    const std::vector<OversubPoint>& points);
+
+/// Crash-tolerant run of the oversubscription sweep: per-run wall-clock
+/// timeout + bounded retry on the same seed lane, crash isolation (a run
+/// that keeps failing becomes a typed entry in `failures`, the sweep
+/// completes), and manifest-based resume. Surviving results are
+/// bit-identical to run_oversubscription_sweep for any thread count.
+[[nodiscard]] GuardedSweepResult run_oversubscription_sweep_guarded(
+    const GuardedSweepConfig& cfg, const hadoop::JobSpec& job,
+    const std::vector<OversubPoint>& points,
+    RunnerCounters* counters = nullptr);
+
 /// Paper-style output table for a sweep.
 [[nodiscard]] util::Table speedup_table(const std::vector<SpeedupRow>& rows,
                                         const std::string& baseline_name,

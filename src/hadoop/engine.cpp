@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "hadoop/partition.hpp"
+#include "sim/snapshot.hpp"
 #include "util/log.hpp"
 
 namespace pythia::hadoop {
@@ -556,6 +557,104 @@ void MapReduceEngine::complete_job(JobState& job) {
     obs->on_job_completed(job.serial, job.result);
   }
   if (job.on_done) job.on_done(job.result);
+}
+
+void MapReduceEngine::encode_state(sim::StateEncoder& enc) const {
+  enc.put_u32(static_cast<std::uint32_t>(slots_.size()));
+  for (const ServerSlots& s : slots_) {
+    enc.put_u64(s.map_free);
+    enc.put_u64(s.reduce_free);
+  }
+  enc.put_u64(attempt_counter_);
+  enc.put_u64(map_rr_cursor_);
+  enc.put_u64(reduce_rr_cursor_);
+  enc.put_u32(ephemeral_port_);
+  enc.put_u64(jobs_completed_);
+
+  enc.put_u32(static_cast<std::uint32_t>(jobs_.size()));
+  for (const auto& job_ptr : jobs_) {
+    const JobState& job = *job_ptr;
+    enc.put_u64(job.serial);
+    enc.put_time(job.submitted);
+    enc.put_bool(job.completed);
+    enc.put_u32(static_cast<std::uint32_t>(job.weights.size()));
+    for (double w : job.weights) enc.put_f64(w);
+    enc.put_u32(static_cast<std::uint32_t>(job.pending_maps.size()));
+    for (std::size_t m : job.pending_maps) enc.put_u64(m);
+    enc.put_u32(static_cast<std::uint32_t>(job.map_attempts.size()));
+    for (std::size_t a : job.map_attempts) enc.put_u64(a);
+    enc.put_u32(static_cast<std::uint32_t>(job.map_runtime.size()));
+    for (const JobState::MapRuntime& rt : job.map_runtime) {
+      enc.put_bool(rt.done);
+      enc.put_bool(rt.backup_launched);
+      enc.put_u32(static_cast<std::uint32_t>(rt.running.size()));
+      for (const JobState::MapAttempt& att : rt.running) {
+        enc.put_u64(att.id);
+        enc.put_u64(att.server_ordinal);
+        enc.put_bool(att.next_event.valid());
+        enc.put_bool(att.next_event.valid() && att.next_event.cancelled());
+      }
+    }
+    enc.put_f64(job.finished_map_duration_sum);
+    enc.put_u64(job.maps_finished);
+    enc.put_u64(job.maps_running);
+    enc.put_u64(job.reducers_scheduled);
+    enc.put_u64(job.reducers_finished);
+
+    enc.put_u32(static_cast<std::uint32_t>(job.reducers.size()));
+    for (const ReducerState& red : job.reducers) {
+      enc.put_u64(red.index);
+      enc.put_u32(red.server.value());
+      enc.put_bool(red.scheduled);
+      enc.put_time(red.started);
+      enc.put_u32(static_cast<std::uint32_t>(red.pending.size()));
+      for (const PendingFetch& pf : red.pending) {
+        enc.put_u64(pf.map_index);
+        enc.put_u32(pf.src_server.value());
+        enc.put_i64(pf.payload.count());
+        enc.put_time(pf.enqueued);
+      }
+      enc.put_u64(red.inflight);
+      enc.put_u64(red.fetched);
+      enc.put_i64(red.shuffled.count());
+      enc.put_time(red.shuffle_done);
+    }
+
+    const JobResult& res = job.result;
+    enc.put_string(res.name);
+    enc.put_time(res.submitted);
+    enc.put_time(res.completed);
+    enc.put_u64(res.map_retries);
+    enc.put_u64(res.stragglers);
+    enc.put_u32(static_cast<std::uint32_t>(res.maps.size()));
+    for (const TaskSpan& t : res.maps) {
+      enc.put_u64(t.index);
+      enc.put_u32(t.server.value());
+      enc.put_time(t.started);
+      enc.put_time(t.finished);
+    }
+    enc.put_u32(static_cast<std::uint32_t>(res.reducers.size()));
+    for (const ReducerRecord& r : res.reducers) {
+      enc.put_u64(r.index);
+      enc.put_u32(r.server.value());
+      enc.put_time(r.started);
+      enc.put_time(r.shuffle_done);
+      enc.put_time(r.finished);
+      enc.put_i64(r.shuffled.count());
+    }
+    enc.put_u32(static_cast<std::uint32_t>(res.fetches.size()));
+    for (const FetchRecord& f : res.fetches) {
+      enc.put_u64(f.map_index);
+      enc.put_u64(f.reduce_index);
+      enc.put_u32(f.src_server.value());
+      enc.put_u32(f.dst_server.value());
+      enc.put_i64(f.payload.count());
+      enc.put_time(f.enqueued);
+      enc.put_time(f.started);
+      enc.put_time(f.completed);
+      enc.put_bool(f.remote);
+    }
+  }
 }
 
 }  // namespace pythia::hadoop

@@ -81,6 +81,12 @@ class MapReduceEngine {
   [[nodiscard]] const std::vector<double>& job_reducer_weights(
       std::size_t serial) const;
 
+  /// Serializes the engine's logical state for snapshots: per-job task and
+  /// reducer progress (including partial JobResults), slot occupancy, and
+  /// the scheduler cursors. Pending event *handles* are reduced to their
+  /// liveness flags — the events themselves live in the queue skeleton.
+  void encode_state(sim::StateEncoder& enc) const;
+
  private:
   struct PendingFetch {
     std::size_t map_index;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/snapshot.hpp"
 #include "util/log.hpp"
 
 namespace pythia::net {
@@ -629,6 +630,66 @@ void Fabric::settle_and_recompute() {
   settle();
   recompute_rates();
   schedule_next_completion();
+}
+
+void Fabric::encode_counters(sim::StateEncoder& enc) const {
+  // Rate-engine observability: deterministic within one engine, but
+  // kIncremental and kFullRecompute legitimately differ here even though
+  // their allocations are contracted identical — which is why this lives in
+  // its own snapshot section the cross-arm bisection skips.
+  enc.put_u64(counters_.recomputes);
+  enc.put_u64(counters_.full_fills);
+  enc.put_u64(counters_.links_touched);
+  enc.put_u64(counters_.flows_touched);
+  enc.put_u64(counters_.completion_events);
+  enc.put_u64(counters_.settles);
+}
+
+void Fabric::encode_state(sim::StateEncoder& enc) const {
+  enc.put_u64(flows_started_);
+  enc.put_u64(flows_completed_);
+  enc.put_i64(bytes_delivered_.count());
+  enc.put_time(last_settle_);
+  enc.put_i64(scheduled_eta_ns_);
+
+  const auto active = active_flows();  // ascending by id
+  enc.put_u32(static_cast<std::uint32_t>(active.size()));
+  for (FlowId id : active) {
+    const Flow& f = flows_[id.value()];
+    enc.put_u32(id.value());
+    enc.put_u32(f.spec.src.value());
+    enc.put_u32(f.spec.dst.value());
+    enc.put_i64(f.spec.size.count());
+    enc.put_u8(static_cast<std::uint8_t>(f.spec.cls));
+    enc.put_f64(f.spec.weight);
+    enc.put_u32(f.spec.tuple.src_ip);
+    enc.put_u32(f.spec.tuple.dst_ip);
+    enc.put_u32(f.spec.tuple.src_port);
+    enc.put_u32(f.spec.tuple.dst_port);
+    enc.put_u8(f.spec.tuple.proto);
+    enc.put_u32(static_cast<std::uint32_t>(f.spec.path.size()));
+    for (LinkId l : f.spec.path) enc.put_u32(l.value());
+    enc.put_time(f.started);
+    enc.put_f64(f.remaining_bytes);
+    enc.put_f64(f.rate.bps());
+    enc.put_i64(f.reported_bytes);
+  }
+
+  enc.put_u32(static_cast<std::uint32_t>(cbrs_.size()));
+  for (const CbrStream& cbr : cbrs_) {
+    enc.put_bool(cbr.active);
+    enc.put_f64(cbr.rate_bps);
+    enc.put_u32(static_cast<std::uint32_t>(cbr.path.size()));
+    for (LinkId l : cbr.path) enc.put_u32(l.value());
+  }
+
+  enc.put_u32(static_cast<std::uint32_t>(topo_->link_count()));
+  for (std::size_t l = 0; l < topo_->link_count(); ++l) {
+    enc.put_bool(link_up_[l] != 0);
+    enc.put_f64(cbr_load_bps_[l]);
+    enc.put_f64(elastic_rate_bps_[l]);
+    for (double cls_rate : class_rate_bps_[l]) enc.put_f64(cls_rate);
+  }
 }
 
 }  // namespace pythia::net

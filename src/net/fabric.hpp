@@ -29,6 +29,10 @@
 #include "util/time.hpp"
 #include "util/units.hpp"
 
+namespace pythia::sim {
+class StateEncoder;
+}
+
 namespace pythia::net {
 
 class Fabric;
@@ -190,6 +194,19 @@ class Fabric {
   /// automatically on arrivals/departures/CBR changes; public so that probes
   /// can force an accounting point.
   void settle_and_recompute();
+
+  /// Serializes the fabric's logical state for snapshots: counters, every
+  /// active flow (sorted by id) with its exact settled remaining volume and
+  /// rate bits, CBR streams, and per-link up/load/rate state. Physical
+  /// scratch (slot free lists, dirty sets, ETA heap layout) is excluded —
+  /// it is reconstructed by replay and never observable.
+  void encode_state(sim::StateEncoder& enc) const;
+
+  /// Rate-engine work counters, serialized as their own snapshot section:
+  /// kIncremental and kFullRecompute allocate identical rates but touch
+  /// different amounts of state doing it, so divergence bisection compares
+  /// behavioral sections only (see Snapshot::describe_divergence).
+  void encode_counters(sim::StateEncoder& enc) const;
 
  private:
   struct EtaEntry {

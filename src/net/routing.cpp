@@ -4,6 +4,8 @@
 #include <cassert>
 #include <queue>
 
+#include "sim/snapshot.hpp"
+
 namespace pythia::net {
 
 namespace {
@@ -422,6 +424,45 @@ bool RoutingGraph::has_paths(NodeId src_host, NodeId dst_host) const {
 std::size_t RoutingGraph::pairs_using(LinkId l) const {
   assert(l.valid() && l.value() < link_pairs_.size());
   return link_pairs_[l.value()].size();
+}
+
+void RoutingGraph::encode_counters(sim::StateEncoder& enc) const {
+  // Rebuild-strategy observability: kIncremental and kFull produce
+  // identical tables but different work splits, so these live in their own
+  // snapshot section the cross-arm bisection skips.
+  enc.put_u64(counters_.full_rebuilds);
+  enc.put_u64(counters_.incremental_rebuilds);
+  enc.put_u64(counters_.pairs_recomputed);
+  enc.put_u64(counters_.pairs_reused);
+}
+
+void RoutingGraph::encode_state(sim::StateEncoder& enc) const {
+  enc.put_u64(static_cast<std::uint64_t>(k_));
+
+  // Interned paths in id order: the pool is append-only, so the sequence of
+  // interned link chains is itself a fingerprint of every rebuild the run
+  // performed (and of its order — a divergence detector the candidate
+  // tables alone would miss).
+  enc.put_u32(static_cast<std::uint32_t>(pool_.size()));
+  for (std::size_t id = 0; id < pool_.size(); ++id) {
+    const Path& p = pool_.path(PathId{static_cast<std::uint32_t>(id)});
+    enc.put_u32(static_cast<std::uint32_t>(p.links.size()));
+    for (LinkId l : p.links) enc.put_u32(l.value());
+  }
+
+  enc.put_u32(static_cast<std::uint32_t>(table_.size()));
+  for (const auto& ids : table_) {
+    enc.put_u32(static_cast<std::uint32_t>(ids.size()));
+    for (PathId id : ids) enc.put_u32(id.value());
+  }
+
+  std::vector<std::uint32_t> ban_ids;
+  ban_ids.reserve(banned_.size());
+  // pythia-lint: allow(unordered-iter) key collection only; sorted below
+  for (LinkId l : banned_) ban_ids.push_back(l.value());
+  std::sort(ban_ids.begin(), ban_ids.end());
+  enc.put_u32(static_cast<std::uint32_t>(ban_ids.size()));
+  for (std::uint32_t l : ban_ids) enc.put_u32(l);
 }
 
 }  // namespace pythia::net

@@ -23,6 +23,10 @@
 #include "net/topology.hpp"
 #include "net/types.hpp"
 
+namespace pythia::sim {
+class StateEncoder;
+}
+
 namespace pythia::net {
 
 /// A loop-free path as a link chain; endpoints are implied by the links.
@@ -205,6 +209,17 @@ class RoutingGraph {
   void rebuild(const Topology& topo,
                const std::unordered_set<LinkId>& banned_links = {},
                RebuildMode mode = RebuildMode::kIncremental);
+
+  /// Serializes the routing state for snapshots: every interned path (in
+  /// id order — interning order is part of the determinism contract), the
+  /// per-pair candidate tables, and the banned set (sorted).
+  void encode_state(sim::StateEncoder& enc) const;
+
+  /// Rebuild-work counters, serialized as their own snapshot section:
+  /// contracted-identical arms (incremental vs. full rebuild) agree on
+  /// encode_state but legitimately differ here, so divergence bisection
+  /// compares behavioral sections only (see Snapshot::describe_divergence).
+  void encode_counters(sim::StateEncoder& enc) const;
 
  private:
   static constexpr std::uint32_t kNotHost =

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/snapshot.hpp"
 #include "util/log.hpp"
 
 namespace pythia::sdn {
@@ -503,6 +504,85 @@ void Controller::handle_link_restore(net::LinkId l) {
     routing_.rebuild(*topo_, failed_links_);
     ++topology_rebuilds_;
   }
+}
+
+void Controller::encode_state(sim::StateEncoder& enc) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(rules_.size());
+  // pythia-lint: allow(unordered-iter) key collection only; sorted below
+  for (const auto& [key, rule] : rules_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  enc.put_u32(static_cast<std::uint32_t>(keys.size()));
+  for (std::uint64_t key : keys) {
+    const PendingRule& pr = rules_.at(key);
+    enc.put_u64(key);
+    enc.put_u32(pr.rule.path_id.value());
+    enc.put_bool(pr.active);
+    enc.put_bool(pr.confirmed);
+    enc.put_u64(static_cast<std::uint64_t>(pr.attempt));
+    enc.put_u64(pr.epoch);
+    enc.put_time(pr.rule.requested_at);
+    enc.put_time(pr.rule.active_at);
+    enc.put_i64(pr.volume_hint.count());
+  }
+
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> occupancy;
+  occupancy.reserve(table_occupancy_.size());
+  // pythia-lint: allow(unordered-iter) pair collection only; sorted below
+  for (const auto& [sw, n] : table_occupancy_) occupancy.emplace_back(sw, n);
+  std::sort(occupancy.begin(), occupancy.end());
+  enc.put_u32(static_cast<std::uint32_t>(occupancy.size()));
+  for (const auto& [sw, n] : occupancy) {
+    enc.put_u32(sw);
+    enc.put_u64(n);
+  }
+
+  std::vector<std::uint64_t> rack_keys;
+  rack_keys.reserve(rack_rules_.size());
+  // pythia-lint: allow(unordered-iter) key collection only; sorted below
+  for (const auto& [key, rule] : rack_rules_) rack_keys.push_back(key);
+  std::sort(rack_keys.begin(), rack_keys.end());
+  enc.put_u32(static_cast<std::uint32_t>(rack_keys.size()));
+  for (std::uint64_t key : rack_keys) {
+    const PendingRackRule& rr = rack_rules_.at(key);
+    enc.put_u64(key);
+    enc.put_u32(static_cast<std::uint32_t>(rr.chain.links.size()));
+    for (net::LinkId l : rr.chain.links) enc.put_u32(l.value());
+    enc.put_time(rr.active_at);
+    enc.put_bool(rr.active);
+  }
+
+  std::vector<std::uint32_t> failed;
+  failed.reserve(failed_links_.size());
+  // pythia-lint: allow(unordered-iter) key collection only; sorted below
+  for (net::LinkId l : failed_links_) failed.push_back(l.value());
+  std::sort(failed.begin(), failed.end());
+  enc.put_u32(static_cast<std::uint32_t>(failed.size()));
+  for (std::uint32_t l : failed) enc.put_u32(l);
+
+  // Sample-and-hold link-load snapshot: refreshed lazily from queries, so
+  // it is genuine state (two runs that queried at different times hold
+  // different images). Encoded raw — no refresh is triggered here.
+  enc.put_time(snapshot_at_);
+  enc.put_u64(stats_refreshes_);
+  enc.put_u32(static_cast<std::uint32_t>(snapshot_load_bps_.size()));
+  for (double v : snapshot_load_bps_) enc.put_f64(v);
+  for (double v : snapshot_shuffle_bps_) enc.put_f64(v);
+
+  enc.put_u64(topology_rebuilds_);
+  enc.put_u64(rules_installed_);
+  enc.put_u64(flow_mods_);
+  enc.put_u64(install_epoch_);
+  enc.put_u64(install_attempts_);
+  enc.put_u64(install_rejects_);
+  enc.put_u64(install_timeouts_);
+  enc.put_u64(install_retries_);
+  enc.put_u64(installs_abandoned_);
+  enc.put_u64(evictions_);
+  enc.put_u64(table_rejects_);
+  enc.put_u64(rules_cleared_);
+
+  flow_mod_channel_.encode_state(enc);
 }
 
 }  // namespace pythia::sdn

@@ -235,6 +235,12 @@ class Controller {
     return flow_mod_channel_;
   }
 
+  /// Serializes the controller's logical state for snapshots: host-pair and
+  /// rack rules (sorted by key) with their install/retry progress, table
+  /// occupancy, failed links, the link-load snapshot, all counters, and the
+  /// flow-mod fault channel's state.
+  void encode_state(sim::StateEncoder& enc) const;
+
  private:
   [[nodiscard]] static std::uint64_t pair_key(net::NodeId a, net::NodeId b) {
     return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();

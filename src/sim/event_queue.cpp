@@ -49,6 +49,9 @@ bool EventQueue::run_one() {
     assert(entry.at >= now_);
     now_ = entry.at;
     ++fired_;
+    if (abort_check_ && fired_ % kAbortCheckStride == 0 && abort_check_()) {
+      throw AbortedError(now_, fired_);
+    }
     entry.fn();
     return true;
   }
@@ -76,6 +79,29 @@ std::size_t EventQueue::run_until(util::SimTime until) {
   }
   if (now_ < until) now_ = until;
   return n;
+}
+
+std::vector<EventQueue::PendingEventInfo> EventQueue::pending_events() const {
+  std::vector<PendingEventInfo> out;
+  out.reserve(live_);
+  for (const auto& entry : heap_) {
+    if (entry.state->cancelled) continue;
+    out.push_back({entry.at, entry.seq});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PendingEventInfo& a, const PendingEventInfo& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void EventQueue::advance_now(util::SimTime to) {
+  assert(to >= now_ && "cannot rewind the clock");
+  assert((heap_.empty() || pending_events().empty() ||
+          pending_events().front().at >= to) &&
+         "cannot idle-advance past a live event");
+  now_ = to;
 }
 
 void EventQueue::maybe_compact() {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "util/time.hpp"
@@ -20,6 +21,22 @@
 namespace pythia::sim {
 
 using EventFn = std::function<void()>;
+
+/// Thrown out of the event loop when an installed abort check trips (the
+/// sweep executor's cooperative wall-clock timeout). Carries the simulation
+/// position so the failure is attributable and reproducible.
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError(util::SimTime at_, std::uint64_t events_fired_)
+      : std::runtime_error("simulation run aborted at t=" +
+                           std::to_string(at_.ns()) + "ns after " +
+                           std::to_string(events_fired_) + " events"),
+        at(at_),
+        events_fired(events_fired_) {}
+
+  util::SimTime at;
+  std::uint64_t events_fired;
+};
 
 /// Handle used to cancel a scheduled event. Default-constructed handles are
 /// inert. Copies share the same cancellation flag.
@@ -80,6 +97,42 @@ class EventQueue {
   /// compaction test asserts this stays bounded under cancel churn.
   [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
 
+  // --- snapshot support (see sim/snapshot.hpp) ---
+
+  /// Timestamp + insertion sequence of one live (scheduled, uncancelled,
+  /// unfired) entry; the closure itself is not marshalable.
+  struct PendingEventInfo {
+    util::SimTime at;
+    std::uint64_t seq;
+  };
+  /// The canonical logical content of the queue: live entries sorted by
+  /// (time, seq). Deliberately independent of the physical heap layout,
+  /// which varies with compaction history even between logically identical
+  /// queues.
+  [[nodiscard]] std::vector<PendingEventInfo> pending_events() const;
+  /// Next insertion sequence number (counts cancelled entries too — two
+  /// runs only replay identically if their schedule() call sequences match).
+  [[nodiscard]] std::uint64_t next_sequence() const { return next_seq_; }
+  /// Cancelled entries still parked in the heap (lazy-cancel garbage).
+  [[nodiscard]] std::size_t cancelled_in_heap() const {
+    return cancelled_in_heap_;
+  }
+  /// Advances the clock without firing anything; `to` must be >= now() and
+  /// <= the next live event. Restore uses this to reproduce a capture clock
+  /// that run_until() parked *between* events — replaying to the event
+  /// cursor alone leaves now() at the last fired event's timestamp, which
+  /// would diverge from the captured image (see docs/checkpoint.md).
+  void advance_now(util::SimTime to);
+
+  /// Installs a cooperative abort check, polled every kAbortCheckStride
+  /// fired events; when it returns true the loop throws AbortedError. The
+  /// check must not touch simulation state — the sweep executor installs a
+  /// wall-clock deadline, which only ever decides whether a run *dies*,
+  /// never what a surviving run computes.
+  void install_abort_check(std::function<bool()> should_abort) {
+    abort_check_ = std::move(should_abort);
+  }
+
  private:
   struct Entry {
     util::SimTime at;
@@ -96,6 +149,8 @@ class EventQueue {
 
   /// Don't bother compacting tiny heaps.
   static constexpr std::size_t kCompactFloor = 64;
+  /// Abort-check polling stride (events between wall-clock deadline polls).
+  static constexpr std::uint64_t kAbortCheckStride = 1024;
 
   void maybe_compact();
 
@@ -107,6 +162,7 @@ class EventQueue {
   std::uint64_t fired_ = 0;
   std::size_t live_ = 0;
   std::size_t cancelled_in_heap_ = 0;
+  std::function<bool()> abort_check_;
 };
 
 }  // namespace pythia::sim

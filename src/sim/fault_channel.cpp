@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/snapshot.hpp"
+
 namespace pythia::sim {
 
 FaultChannel::FaultChannel(Simulation& sim, std::string stream_name,
@@ -60,6 +62,16 @@ void FaultChannel::send(std::function<void()> deliver) {
     schedule_delivery(deliver);
   }
   schedule_delivery(std::move(deliver));
+}
+
+void FaultChannel::encode_state(StateEncoder& enc) const {
+  enc.put_string(stream_);
+  enc.put_time(last_scheduled_);
+  enc.put_u64(offered_);
+  enc.put_u64(delivered_);
+  enc.put_u64(dropped_);
+  enc.put_u64(duplicated_);
+  enc.put_u64(reordered_);
 }
 
 }  // namespace pythia::sim

@@ -21,6 +21,8 @@
 
 namespace pythia::sim {
 
+class StateEncoder;
+
 struct FaultChannelConfig {
   /// Per-message loss probability.
   double drop_probability = 0.0;
@@ -68,6 +70,16 @@ class FaultChannel {
   }
   /// Deliveries scheduled to land before an earlier send's delivery.
   [[nodiscard]] std::uint64_t reorderings() const { return reordered_; }
+
+  /// Latest delivery instant scheduled so far (reorder detection baseline).
+  /// Surfaced because it is channel state a snapshot must cover: two
+  /// channels with equal counters but different high-water marks classify
+  /// the *next* delivery differently.
+  [[nodiscard]] util::SimTime last_scheduled() const { return last_scheduled_; }
+
+  /// Serializes the channel's logical state (config knobs are identity, not
+  /// state, and are covered by the snapshot's config fingerprint instead).
+  void encode_state(StateEncoder& enc) const;
 
  private:
   [[nodiscard]] util::Duration sample_delay();

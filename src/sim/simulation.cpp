@@ -1,6 +1,23 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
+
 namespace pythia::sim {
+
+std::vector<std::string> Simulation::rng_stream_names() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  // pythia-lint: allow(unordered-iter) key collection only; sorted below
+  for (const auto& [name, rng] : streams_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+const util::Xoshiro256* Simulation::find_rng(
+    const std::string& stream_name) const {
+  const auto it = streams_.find(stream_name);
+  return it == streams_.end() ? nullptr : it->second.get();
+}
 
 util::Xoshiro256& Simulation::rng(const std::string& stream_name) {
   auto it = streams_.find(stream_name);

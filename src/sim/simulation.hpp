@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "util/random.hpp"
@@ -42,6 +43,20 @@ class Simulation {
 
   /// Returns a stable per-name RNG stream derived from the root seed.
   util::Xoshiro256& rng(const std::string& stream_name);
+
+  // --- snapshot support (see sim/snapshot.hpp) ---
+
+  /// Names of every RNG stream materialized so far, sorted — the canonical
+  /// order snapshots serialize lanes in.
+  [[nodiscard]] std::vector<std::string> rng_stream_names() const;
+  /// Stream by name without materializing it; nullptr when never requested.
+  [[nodiscard]] const util::Xoshiro256* find_rng(
+      const std::string& stream_name) const;
+
+  /// Forwards to EventQueue::install_abort_check (cooperative run timeout).
+  void install_abort_check(std::function<bool()> should_abort) {
+    queue_.install_abort_check(std::move(should_abort));
+  }
 
  private:
   std::uint64_t seed_;

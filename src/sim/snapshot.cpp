@@ -1,0 +1,327 @@
+#include "sim/snapshot.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+
+#include "sim/simulation.hpp"
+#include "util/random.hpp"
+
+namespace pythia::sim {
+
+namespace {
+
+constexpr std::uint8_t kMagic[8] = {'P', 'Y', 'S', 'N', 'A', 'P', '0', '\n'};
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t len) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+// --- StateEncoder ---
+
+void StateEncoder::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void StateEncoder::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void StateEncoder::put_f64(double v) {
+  put_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void StateEncoder::put_string(const std::string& s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+// --- StateDecoder ---
+
+void StateDecoder::need(std::size_t n) const {
+  if (bytes_->size() - pos_ < n) {
+    throw SnapshotError("snapshot section truncated: need " +
+                        std::to_string(n) + " bytes, have " +
+                        std::to_string(bytes_->size() - pos_));
+  }
+}
+
+std::uint8_t StateDecoder::get_u8() {
+  need(1);
+  return (*bytes_)[pos_++];
+}
+
+std::uint32_t StateDecoder::get_u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>((*bytes_)[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t StateDecoder::get_u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>((*bytes_)[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+double StateDecoder::get_f64() {
+  return std::bit_cast<double>(get_u64());
+}
+
+std::string StateDecoder::get_string() {
+  const std::uint32_t len = get_u32();
+  need(len);
+  std::string s(reinterpret_cast<const char*>(bytes_->data()) + pos_, len);
+  pos_ += len;
+  return s;
+}
+
+// --- Snapshot ---
+
+const SnapshotSection* Snapshot::section(const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<std::uint8_t> Snapshot::serialize() const {
+  StateEncoder payload;
+  payload.put_u64(root_seed);
+  payload.put_u64(config_fingerprint);
+  payload.put_u64(cursor_events);
+  payload.put_time(cursor_time);
+  payload.put_string(label);
+  payload.put_u32(static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& s : sections_) {
+    payload.put_string(s.name);
+    payload.put_u32(static_cast<std::uint32_t>(s.bytes.size()));
+  }
+  std::vector<std::uint8_t> body = payload.take();
+  for (const auto& s : sections_) {
+    body.insert(body.end(), s.bytes.begin(), s.bytes.end());
+  }
+
+  std::vector<std::uint8_t> out(kMagic, kMagic + sizeof(kMagic));
+  StateEncoder header;
+  header.put_u32(kFormatVersion);
+  header.put_u64(body.size());
+  const auto& hb = header.bytes();
+  out.insert(out.end(), hb.begin(), hb.end());
+  out.insert(out.end(), body.begin(), body.end());
+  StateEncoder checksum;
+  checksum.put_u64(fnv1a(body.data(), body.size()));
+  const auto& cb = checksum.bytes();
+  out.insert(out.end(), cb.begin(), cb.end());
+  return out;
+}
+
+Snapshot Snapshot::deserialize(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < sizeof(kMagic) + 12 + 8 ||
+      !std::equal(kMagic, kMagic + sizeof(kMagic), bytes.begin())) {
+    throw SnapshotError("not a pythia snapshot (bad magic)");
+  }
+  StateDecoder head(bytes);
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) (void)head.get_u8();
+  const std::uint32_t version = head.get_u32();
+  if (version != kFormatVersion) {
+    throw SnapshotError("snapshot format version " + std::to_string(version) +
+                        " unsupported (expected " +
+                        std::to_string(kFormatVersion) + ")");
+  }
+  const std::uint64_t body_len = head.get_u64();
+  const std::size_t body_off = sizeof(kMagic) + 12;
+  if (bytes.size() != body_off + body_len + 8) {
+    throw SnapshotError("snapshot length mismatch");
+  }
+  const std::uint64_t want = fnv1a(bytes.data() + body_off, body_len);
+  StateDecoder tail(bytes);
+  for (std::size_t i = 0; i < body_off + body_len; ++i) (void)tail.get_u8();
+  const std::uint64_t got = tail.get_u64();
+  if (want != got) {
+    throw SnapshotError("snapshot checksum mismatch: stored " + hex_u64(got) +
+                        ", computed " + hex_u64(want));
+  }
+
+  std::vector<std::uint8_t> body(bytes.begin() + static_cast<std::ptrdiff_t>(body_off),
+                                 bytes.begin() + static_cast<std::ptrdiff_t>(body_off + body_len));
+  StateDecoder dec(body);
+  Snapshot snap;
+  snap.root_seed = dec.get_u64();
+  snap.config_fingerprint = dec.get_u64();
+  snap.cursor_events = dec.get_u64();
+  snap.cursor_time = dec.get_time();
+  snap.label = dec.get_string();
+  const std::uint32_t n_sections = dec.get_u32();
+  std::vector<std::pair<std::string, std::uint32_t>> dir;
+  dir.reserve(n_sections);
+  for (std::uint32_t i = 0; i < n_sections; ++i) {
+    std::string name = dec.get_string();
+    const std::uint32_t len = dec.get_u32();
+    dir.emplace_back(std::move(name), len);
+  }
+  for (auto& [name, len] : dir) {
+    std::vector<std::uint8_t> section_bytes;
+    section_bytes.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i) section_bytes.push_back(dec.get_u8());
+    snap.add_section(std::move(name), std::move(section_bytes));
+  }
+  if (!dec.exhausted()) {
+    throw SnapshotError("snapshot has trailing bytes after last section");
+  }
+  return snap;
+}
+
+void Snapshot::save(const std::string& path) const {
+  const auto bytes = serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    throw SnapshotError("cannot open " + path + " for writing");
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out.good()) throw SnapshotError("short write to " + path);
+}
+
+Snapshot Snapshot::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) throw SnapshotError("cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return deserialize(bytes);
+}
+
+std::uint64_t Snapshot::state_checksum() const {
+  const auto bytes = serialize();
+  return fnv1a(bytes.data(), bytes.size());
+}
+
+namespace {
+
+std::string describe_divergence_impl(const Snapshot& a, const Snapshot& b,
+                                     bool behavioral_only) {
+  if (a.cursor_events != b.cursor_events) {
+    return "cursor: " + std::to_string(a.cursor_events) + " vs " +
+           std::to_string(b.cursor_events) + " events fired";
+  }
+  if (a.cursor_time != b.cursor_time) {
+    return "clock: t=" + std::to_string(a.cursor_time.ns()) + "ns vs t=" +
+           std::to_string(b.cursor_time.ns()) + "ns";
+  }
+  if (a.sections().size() != b.sections().size()) {
+    return "section count: " + std::to_string(a.sections().size()) + " vs " +
+           std::to_string(b.sections().size());
+  }
+  for (std::size_t i = 0; i < a.sections().size(); ++i) {
+    const auto& sa = a.sections()[i];
+    const auto& sb = b.sections()[i];
+    if (sa.name != sb.name) {
+      return "section " + std::to_string(i) + " name: '" + sa.name +
+             "' vs '" + sb.name + "'";
+    }
+    if (behavioral_only && Snapshot::is_observability_section(sa.name)) {
+      continue;
+    }
+    const std::size_t n = std::min(sa.bytes.size(), sb.bytes.size());
+    for (std::size_t off = 0; off < n; ++off) {
+      if (sa.bytes[off] != sb.bytes[off]) {
+        return "section '" + sa.name + "': first differing byte at offset " +
+               std::to_string(off) + " (" +
+               std::to_string(static_cast<int>(sa.bytes[off])) + " vs " +
+               std::to_string(static_cast<int>(sb.bytes[off])) + ")";
+      }
+    }
+    if (sa.bytes.size() != sb.bytes.size()) {
+      return "section '" + sa.name + "': length " +
+             std::to_string(sa.bytes.size()) + " vs " +
+             std::to_string(sb.bytes.size());
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string Snapshot::describe_divergence(const Snapshot& a,
+                                          const Snapshot& b) {
+  return describe_divergence_impl(a, b, /*behavioral_only=*/false);
+}
+
+bool Snapshot::is_observability_section(const std::string& name) {
+  constexpr std::string_view kSuffix = ".counters";
+  return name.size() >= kSuffix.size() &&
+         name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                      kSuffix) == 0;
+}
+
+std::string Snapshot::describe_behavior_divergence(const Snapshot& a,
+                                                   const Snapshot& b) {
+  return describe_divergence_impl(a, b, /*behavioral_only=*/true);
+}
+
+std::uint64_t Snapshot::behavior_checksum() const {
+  StateEncoder enc;
+  enc.put_u64(cursor_events);
+  enc.put_time(cursor_time);
+  for (const auto& section : sections_) {
+    if (is_observability_section(section.name)) continue;
+    enc.put_string(section.name);
+    enc.put_u64(section.bytes.size());
+    for (std::uint8_t b : section.bytes) enc.put_u8(b);
+  }
+  return fnv1a(enc.bytes().data(), enc.bytes().size());
+}
+
+// --- core sim capture ---
+
+void encode_event_queue_state(const EventQueue& queue, StateEncoder& enc) {
+  enc.put_time(queue.now());
+  enc.put_u64(queue.events_fired());
+  enc.put_u64(queue.next_sequence());
+  enc.put_u64(queue.pending());
+  enc.put_u64(queue.cancelled_in_heap());
+  const auto pending = queue.pending_events();
+  for (const auto& e : pending) {
+    enc.put_time(e.at);
+    enc.put_u64(e.seq);
+  }
+}
+
+void encode_rng_state(const Simulation& sim, StateEncoder& enc) {
+  const auto names = sim.rng_stream_names();  // sorted
+  enc.put_u64(sim.seed());
+  enc.put_u32(static_cast<std::uint32_t>(names.size()));
+  for (const auto& name : names) {
+    enc.put_string(name);
+    const util::Xoshiro256* rng = sim.find_rng(name);
+    for (std::uint64_t word : rng->state()) enc.put_u64(word);
+  }
+}
+
+}  // namespace pythia::sim

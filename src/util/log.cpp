@@ -52,6 +52,11 @@ void log_line(LogLevel level, const std::string& component,
                message.c_str());
 }
 
+void flush_logs() {
+  std::fflush(stdout);
+  std::fflush(stderr);
+}
+
 // --- unit formatting (declared in units.hpp / time.hpp) ---
 
 std::string format_bytes(Bytes b) {

@@ -25,6 +25,12 @@ void set_log_level(LogLevel level);
 void log_line(LogLevel level, const std::string& component,
               const std::string& message);
 
+/// Flushes the log sink (and stdout). The crash handler calls this on fatal
+/// signals so buffered lines are not lost with the process; NOT
+/// async-signal-safe in the strict sense (fflush), but the process is dying
+/// anyway and losing the tail of the log is the alternative.
+void flush_logs();
+
 namespace detail {
 class LogStream {
  public:

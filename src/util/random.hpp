@@ -71,6 +71,15 @@ class Xoshiro256 {
   /// Gaussian variate (Box–Muller, no caching so draws stay stream-ordered).
   double gaussian(double mean, double stddev);
 
+  /// Raw generator state, for snapshot serialization and divergence checks.
+  /// Two streams that consumed identical draw sequences from the same seed
+  /// hold identical words.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
+    return state_;
+  }
+  /// Overwrites the generator state (snapshot tooling only).
+  void set_state(const std::array<std::uint64_t, 4>& s) { state_ = s; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,196 @@
+// Snapshot format unit tests: codec round-trips, on-disk framing (magic,
+// version, checksum), decoder bounds, and divergence reporting. The
+// end-to-end capture/restore identity proof lives in
+// experiments/test_checkpoint.cpp.
+#include "sim/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pythia::sim {
+namespace {
+
+Snapshot make_snapshot() {
+  Snapshot snap;
+  snap.root_seed = 42;
+  snap.config_fingerprint = 0xdeadbeefcafef00dULL;
+  snap.cursor_events = 1234;
+  snap.cursor_time = util::SimTime{5'000'000'001LL};
+  snap.label = "mid-shuffle";
+  snap.add_section("sim.queue", {1, 2, 3, 4});
+  snap.add_section("fabric", {});
+  snap.add_section("fabric.counters", {9, 9});
+  snap.add_section("engine", {255, 0, 128});
+  return snap;
+}
+
+TEST(StateCodec, RoundTripsEveryType) {
+  StateEncoder enc;
+  enc.put_u8(7);
+  enc.put_bool(true);
+  enc.put_bool(false);
+  enc.put_u32(0xfeedface);
+  enc.put_u64(std::numeric_limits<std::uint64_t>::max());
+  enc.put_i64(-42);
+  enc.put_f64(3.141592653589793);
+  enc.put_f64(-0.0);
+  enc.put_time(util::SimTime{123456789});
+  enc.put_duration(util::Duration{-5});
+  enc.put_string("");
+  enc.put_string("hello\0world");
+
+  StateDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 7);
+  EXPECT_TRUE(dec.get_bool());
+  EXPECT_FALSE(dec.get_bool());
+  EXPECT_EQ(dec.get_u32(), 0xfeedface);
+  EXPECT_EQ(dec.get_u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(dec.get_i64(), -42);
+  EXPECT_EQ(dec.get_f64(), 3.141592653589793);
+  const double neg_zero = dec.get_f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit pattern, not value, survives
+  EXPECT_EQ(dec.get_time(), util::SimTime{123456789});
+  EXPECT_EQ(dec.get_duration(), util::Duration{-5});
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_EQ(dec.get_string(), "hello");  // literal truncates at NUL
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(StateCodec, DecoderThrowsOnUnderrun) {
+  StateEncoder enc;
+  enc.put_u32(1);
+  StateDecoder dec(enc.bytes());
+  (void)dec.get_u8();
+  EXPECT_THROW((void)dec.get_u32(), SnapshotError);
+}
+
+TEST(StateCodec, DecoderThrowsOnTruncatedString) {
+  StateEncoder enc;
+  enc.put_u32(100);  // claims a 100-byte string with no payload
+  StateDecoder dec(enc.bytes());
+  EXPECT_THROW((void)dec.get_string(), SnapshotError);
+}
+
+TEST(Snapshot, SerializeDeserializeRoundTrip) {
+  const Snapshot snap = make_snapshot();
+  const Snapshot back = Snapshot::deserialize(snap.serialize());
+  EXPECT_EQ(back.root_seed, snap.root_seed);
+  EXPECT_EQ(back.config_fingerprint, snap.config_fingerprint);
+  EXPECT_EQ(back.cursor_events, snap.cursor_events);
+  EXPECT_EQ(back.cursor_time, snap.cursor_time);
+  EXPECT_EQ(back.label, snap.label);
+  ASSERT_EQ(back.sections().size(), snap.sections().size());
+  for (std::size_t i = 0; i < back.sections().size(); ++i) {
+    EXPECT_EQ(back.sections()[i].name, snap.sections()[i].name);
+    EXPECT_EQ(back.sections()[i].bytes, snap.sections()[i].bytes);
+  }
+  EXPECT_TRUE(Snapshot::describe_divergence(snap, back).empty());
+}
+
+TEST(Snapshot, ChecksumCatchesEveryFlippedPayloadByte) {
+  const Snapshot snap = make_snapshot();
+  const auto bytes = snap.serialize();
+  // Flip each byte of the body in turn (skip magic+header framing and the
+  // trailing checksum itself — those are caught by the other checks).
+  for (std::size_t i = 20; i + 8 < bytes.size(); ++i) {
+    auto corrupt = bytes;
+    corrupt[i] ^= 0x01;
+    EXPECT_THROW((void)Snapshot::deserialize(corrupt), SnapshotError)
+        << "flipped byte " << i;
+  }
+}
+
+TEST(Snapshot, BadMagicRejected) {
+  auto bytes = make_snapshot().serialize();
+  bytes[0] = 'X';
+  EXPECT_THROW((void)Snapshot::deserialize(bytes), SnapshotError);
+}
+
+TEST(Snapshot, UnsupportedVersionRejected) {
+  auto bytes = make_snapshot().serialize();
+  bytes[8] = 99;  // version u32 starts right after the 8-byte magic
+  EXPECT_THROW((void)Snapshot::deserialize(bytes), SnapshotError);
+}
+
+TEST(Snapshot, TruncationRejected) {
+  auto bytes = make_snapshot().serialize();
+  bytes.pop_back();
+  EXPECT_THROW((void)Snapshot::deserialize(bytes), SnapshotError);
+}
+
+TEST(Snapshot, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/snap_roundtrip.pysnap";
+  const Snapshot snap = make_snapshot();
+  snap.save(path);
+  const Snapshot back = Snapshot::load(path);
+  EXPECT_TRUE(Snapshot::describe_divergence(snap, back).empty());
+  EXPECT_EQ(back.state_checksum(), snap.state_checksum());
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, DescribeDivergenceFindsFirstDifferingByte) {
+  const Snapshot a = make_snapshot();
+  Snapshot b = make_snapshot();
+  auto sections = b.sections();
+  Snapshot c;
+  c.root_seed = b.root_seed;
+  c.config_fingerprint = b.config_fingerprint;
+  c.cursor_events = b.cursor_events;
+  c.cursor_time = b.cursor_time;
+  for (auto s : sections) {
+    if (s.name == "engine") s.bytes[1] = 7;
+    c.add_section(s.name, s.bytes);
+  }
+  const std::string diff = Snapshot::describe_divergence(a, c);
+  EXPECT_NE(diff.find("engine"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("offset 1"), std::string::npos) << diff;
+}
+
+TEST(Snapshot, DescribeDivergenceReportsCursorFirst) {
+  const Snapshot a = make_snapshot();
+  Snapshot b = make_snapshot();
+  b.cursor_events += 1;
+  const std::string diff = Snapshot::describe_divergence(a, b);
+  EXPECT_NE(diff.find("cursor"), std::string::npos) << diff;
+}
+
+TEST(Snapshot, ObservabilitySectionsSkippedByBehaviorComparison) {
+  EXPECT_TRUE(Snapshot::is_observability_section("fabric.counters"));
+  EXPECT_TRUE(Snapshot::is_observability_section("routing.counters"));
+  EXPECT_FALSE(Snapshot::is_observability_section("fabric"));
+  EXPECT_FALSE(Snapshot::is_observability_section("counters"));
+
+  const Snapshot a = make_snapshot();
+  Snapshot b;
+  b.root_seed = a.root_seed + 1;           // identity ignored by both
+  b.config_fingerprint = 0;                // comparisons (cross-arm use)
+  b.cursor_events = a.cursor_events;
+  b.cursor_time = a.cursor_time;
+  for (auto s : a.sections()) {
+    if (s.name == "fabric.counters") s.bytes = {1, 2};  // different work done
+    b.add_section(s.name, s.bytes);
+  }
+  EXPECT_FALSE(Snapshot::describe_divergence(a, b).empty());
+  EXPECT_TRUE(Snapshot::describe_behavior_divergence(a, b).empty());
+  EXPECT_EQ(a.behavior_checksum(), b.behavior_checksum());
+  EXPECT_NE(a.state_checksum(), b.state_checksum());
+
+  Snapshot c;
+  c.cursor_events = a.cursor_events;
+  c.cursor_time = a.cursor_time;
+  for (auto s : a.sections()) {
+    if (s.name == "engine") s.bytes[0] = 0;  // behavioral difference
+    c.add_section(s.name, s.bytes);
+  }
+  EXPECT_FALSE(Snapshot::describe_behavior_divergence(a, c).empty());
+  EXPECT_NE(a.behavior_checksum(), c.behavior_checksum());
+}
+
+}  // namespace
+}  // namespace pythia::sim
