@@ -1,9 +1,11 @@
 // Routing-engine scaling sweep: k-shortest-path table rebuild latency on
 // fat-tree k=4/8/16 for a single-cable (duplex) failure and its restore,
-// full recompute vs the incremental reverse-index rebuild, plus the per-flow
-// allocator choose_path decision latency on the interned tables. Writes
-// BENCH_routing.json (rebuild wall times, pairs recomputed vs reused,
-// choose_path ns, peak RSS). `--smoke` runs k=4 only for CI.
+// full recompute vs the incremental reverse-index rebuild, the cold-build
+// cost across construction modes (eager serial, eager parallel on a thread
+// pool, lazy on-demand), plus the per-flow allocator choose_path decision
+// latency on the interned tables. Writes BENCH_routing.json (rebuild wall
+// times, pairs recomputed vs reused, cold-build arms, choose_path ns, peak
+// RSS). `--smoke` runs k=4 only for CI.
 //
 // Two victims per topology: the cable with the *median* reverse-index
 // fanout (a representative physical failure) and the one with the *largest*
@@ -12,7 +14,9 @@
 // achievable speedup by the work ratio itself). Before timing, one untimed
 // fail+restore cycle checks the incremental table is byte-identical to the
 // full one, pair by pair — a speedup against a wrong table is meaningless.
-// Each timed cycle runs 3 reps; the median is reported.
+// Each timed cycle runs 3 reps; the median is reported. Eager cold builds
+// drop to 1 rep above 4096 pairs — at k16-sparse each costs ~20 s and the
+// reps were pure redundancy.
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -21,7 +25,9 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/allocator.hpp"
@@ -31,10 +37,12 @@
 #include "sdn/controller.hpp"
 #include "sim/simulation.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace pythia;
+using net::BuildMode;
 using net::LinkId;
 using net::NodeId;
 using net::RebuildMode;
@@ -100,6 +108,74 @@ bool tables_identical(const Topology& topo, const RoutingGraph& a,
     }
   }
   return true;
+}
+
+/// Cold-build cost across the three construction modes. `eager_ms` comes
+/// from the timed builds in main(); the lazy arm splits construction from
+/// first-query and working-set materialization (the pairs a real workload
+/// would actually touch); the parallel arm is a full eager build fanned
+/// across a thread pool with slot-order interning.
+struct ColdResult {
+  double lazy_ctor_ms = 0.0;
+  double lazy_first_query_ms = 0.0;
+  /// Lazy ctor + Yen for every working-set pair: the effective cost of
+  /// having routing ready for the pairs that carry flows.
+  double lazy_working_set_ms = 0.0;
+  std::size_t working_set_pairs = 0;
+  std::uint64_t pairs_materialized = 0;
+  double parallel_ms = 0.0;
+  std::size_t parallel_threads = 0;
+  bool identical = false;
+};
+
+/// `reference` must be a clean (no banned links) eager graph on `topo`.
+ColdResult run_cold(const Topology& topo, std::size_t k_paths,
+                    std::uint64_t pairs, const RoutingGraph& reference) {
+  ColdResult r;
+  const auto hosts = topo.hosts();
+  util::Xoshiro256 rng(42);
+  r.working_set_pairs = static_cast<std::size_t>(
+      std::min<std::uint64_t>(256, pairs));
+  std::vector<std::pair<NodeId, NodeId>> sample;
+  sample.reserve(r.working_set_pairs);
+  for (std::size_t i = 0; i < r.working_set_pairs; ++i) {
+    const NodeId src = hosts[rng.below(hosts.size())];
+    NodeId dst = src;
+    while (dst == src) dst = hosts[rng.below(hosts.size())];
+    sample.emplace_back(src, dst);
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  RoutingGraph lazy(topo, k_paths, BuildMode::kLazy);
+  r.lazy_ctor_ms = ms_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  (void)lazy.paths(sample.front().first, sample.front().second);
+  r.lazy_first_query_ms = ms_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 1; i < sample.size(); ++i) {
+    (void)lazy.paths(sample[i].first, sample[i].second);
+  }
+  r.lazy_working_set_ms =
+      r.lazy_ctor_ms + r.lazy_first_query_ms + ms_since(t0);
+  r.pairs_materialized = lazy.pairs_materialized();
+
+  // Parallel eager arm. At least 2 workers even on a single-core box so the
+  // scratch/commit fan-out path is actually exercised (and visible to TSan
+  // when this runs in CI smoke).
+  util::ThreadPool pool(
+      std::max<std::size_t>(2, std::thread::hardware_concurrency()));
+  r.parallel_threads = pool.thread_count();
+  t0 = std::chrono::steady_clock::now();
+  RoutingGraph parallel(topo, k_paths, BuildMode::kEager, &pool);
+  r.parallel_ms = ms_since(t0);
+
+  // Identity gate: fully materialize the lazy arm, then all three modes
+  // must agree pair by pair. A fast cold build that computes a different
+  // table measures nothing.
+  lazy.materialize_all();
+  r.identical = tables_identical(topo, reference, lazy) &&
+                tables_identical(topo, reference, parallel);
+  return r;
 }
 
 struct VictimResult {
@@ -193,6 +269,14 @@ double choose_path_ns(const Topology& topo, int iters) {
     NodeId dst = src;
     while (dst == src) dst = hosts[rng.below(hosts.size())];
     pairs.emplace_back(src, dst);
+  }
+
+  // Untimed warm-up: the controller's routing graph is lazy, so the first
+  // touch of each pair pays its Yen materialization. That cost belongs to
+  // the cold-build arms above, not to the steady-state decision latency
+  // measured here.
+  for (const auto& [src, dst] : pairs) {
+    (void)controller.routing().paths(src, dst);
   }
 
   std::uint64_t sink = 0;
@@ -296,8 +380,11 @@ int main(int argc, char** argv) {
     const auto hosts = topo.hosts().size();
     const auto pairs = static_cast<std::uint64_t>(hosts) * (hosts - 1);
 
+    // One eager rep above 4096 pairs: each k16-sparse build costs ~20 s and
+    // repeating it told us nothing a single rep doesn't.
+    const int build_reps = pairs > 4096 ? 1 : reps;
     std::vector<double> build;
-    for (int i = 0; i < reps; ++i) {
+    for (int i = 0; i < build_reps; ++i) {
       const auto t0 = std::chrono::steady_clock::now();
       RoutingGraph rg(topo, k_paths);
       build.push_back(ms_since(t0));
@@ -306,18 +393,33 @@ int main(int argc, char** argv) {
 
     RoutingGraph inc(topo, k_paths);
     RoutingGraph full(topo, k_paths);
+    const ColdResult cold = run_cold(topo, k_paths, pairs, full);
     const auto cables = cables_by_fanout(topo, inc);
     const VictimResult median = run_victim(
         topo, inc, full, cables[cables.size() / 2], reps);
     const VictimResult worst = run_victim(topo, inc, full, cables.back(),
                                           reps);
     const double choose_ns = choose_path_ns(topo, choose_iters);
-    all_identical = all_identical && median.identical && worst.identical;
+    all_identical = all_identical && median.identical && worst.identical &&
+                    cold.identical;
 
+    const double lazy_speedup = cold.lazy_working_set_ms > 0.0
+                                    ? build_ms / cold.lazy_working_set_ms
+                                    : 0.0;
+    const double parallel_speedup =
+        cold.parallel_ms > 0.0 ? build_ms / cold.parallel_ms : 0.0;
     print_victim(label, "median", hosts, pairs, median);
     print_victim(label, "worst", hosts, pairs, worst);
     std::printf("%-20s   build %.2f ms, choose_path %.0f ns\n", label.c_str(),
                 build_ms, choose_ns);
+    std::printf(
+        "%-20s   cold: lazy ctor %.3f ms, first query %.3f ms, "
+        "%zu-pair working set %.2f ms (%.1fx), parallel %.2f ms "
+        "(%zu thr, %.1fx)%s\n",
+        label.c_str(), cold.lazy_ctor_ms, cold.lazy_first_query_ms,
+        cold.working_set_pairs, cold.lazy_working_set_ms, lazy_speedup,
+        cold.parallel_ms, cold.parallel_threads, parallel_speedup,
+        cold.identical ? "" : "  TABLE MISMATCH");
 
     if (!first) std::fprintf(out, ",\n");
     first = false;
@@ -326,7 +428,22 @@ int main(int argc, char** argv) {
                  "\"pairs\": %llu,\n",
                  label.c_str(), hosts,
                  static_cast<unsigned long long>(pairs));
-    std::fprintf(out, "      \"build_ms\": %.3f,\n", build_ms);
+    std::fprintf(out, "      \"build_ms\": %.3f, \"build_reps\": %d,\n",
+                 build_ms, build_reps);
+    std::fprintf(
+        out,
+        "      \"cold\": {\"lazy_ctor_ms\": %.4f, "
+        "\"lazy_first_query_ms\": %.4f,\n"
+        "        \"lazy_working_set_ms\": %.3f, \"working_set_pairs\": %zu, "
+        "\"pairs_materialized\": %llu,\n"
+        "        \"cold_speedup_lazy\": %.1f, \"parallel_build_ms\": %.3f, "
+        "\"parallel_threads\": %zu,\n"
+        "        \"cold_speedup_parallel\": %.2f, \"identical\": %s},\n",
+        cold.lazy_ctor_ms, cold.lazy_first_query_ms, cold.lazy_working_set_ms,
+        cold.working_set_pairs,
+        static_cast<unsigned long long>(cold.pairs_materialized), lazy_speedup,
+        cold.parallel_ms, cold.parallel_threads, parallel_speedup,
+        cold.identical ? "true" : "false");
     emit_victim(out, "median_cable", median);
     std::fprintf(out, ",\n");
     emit_victim(out, "worst_cable", worst);

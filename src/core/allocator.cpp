@@ -227,7 +227,15 @@ void Allocator::encode_state(sim::StateEncoder& enc) const {
     enc.put_u64(key);
     enc.put_i64(agg.outstanding);
     enc.put_bool(agg.installed);
-    enc.put_u32(agg.path.value());
+    // Valid-flag + link chain instead of the raw pool id: interning order
+    // tracks query order in the lazy routing graph, while the chain (path
+    // identity) is pure behavior.
+    enc.put_bool(agg.path.valid());
+    if (agg.path.valid()) {
+      const net::Path& p = controller_->path(agg.path);
+      enc.put_u32(static_cast<std::uint32_t>(p.links.size()));
+      for (net::LinkId l : p.links) enc.put_u32(l.value());
+    }
     enc.put_u32(agg.src.value());
     enc.put_u32(agg.dst.value());
   }

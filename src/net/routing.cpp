@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "sim/snapshot.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pythia::net {
 
@@ -40,6 +41,16 @@ struct LinkSeqHash {
     return static_cast<std::size_t>(link_seq_hash(links));
   }
 };
+
+/// Mints a PathId, stamping the pool generation in debug builds so stale
+/// resolution after PathPool::clear() aborts instead of reading garbage.
+PathId make_path_id(std::uint32_t idx, [[maybe_unused]] std::uint32_t gen) {
+  PathId id{idx};
+#ifndef NDEBUG
+  id.debug_set_generation(gen);
+#endif
+  return id;
+}
 
 }  // namespace
 
@@ -179,17 +190,18 @@ PathId PathPool::intern(Path path) {
   const std::uint64_t h = link_seq_hash(path.links);
   auto& bucket = index_[h];
   for (std::uint32_t id : bucket) {
-    if (paths_[id].links == path.links) return PathId{id};
+    if (paths_[id].links == path.links) return make_path_id(id, generation_);
   }
   const auto id = static_cast<std::uint32_t>(paths_.size());
   paths_.push_back(std::move(path));
   bucket.push_back(id);
-  return PathId{id};
+  return make_path_id(id, generation_);
 }
 
 void PathPool::clear() {
   paths_.clear();
   index_.clear();
+  ++generation_;
 }
 
 std::vector<Path> PathSet::materialize() const {
@@ -199,8 +211,20 @@ std::vector<Path> PathSet::materialize() const {
   return out;
 }
 
-RoutingGraph::RoutingGraph(const Topology& topo, std::size_t k) : k_(k) {
-  rebuild(topo, {}, RebuildMode::kFull);
+RoutingGraph::RoutingGraph(const Topology& topo, std::size_t k,
+                           BuildMode build, util::ThreadPool* pool)
+    : k_(k), build_(build) {
+  if (build_ == BuildMode::kEager && pool != nullptr) {
+    // Parallel cold build: index, then fan the per-pair Yen runs across the
+    // pool. materialize_all interns in canonical slot order on this thread,
+    // so the result — including every PathId value — matches a serial build.
+    topo_ = &topo;
+    index_topology(topo);
+    ++counters_.full_rebuilds;
+    materialize_all(pool);
+  } else {
+    rebuild(topo, {}, RebuildMode::kFull);
+  }
 }
 
 void RoutingGraph::rebuild(const Topology& topo,
@@ -209,6 +233,13 @@ void RoutingGraph::rebuild(const Topology& topo,
   const bool same_topology = topo_ == &topo &&
                              node_count_ == topo.node_count() &&
                              link_count_ == topo.link_count();
+  if (same_topology && banned_links == banned_) {
+    // No-op delta: same topology, same banned set — in any mode the table
+    // could not change. Return before copying the banned set or bumping
+    // rebuild counters; only the no-op count moves (pinned by unit test).
+    ++counters_.noop_rebuilds;
+    return;
+  }
   if (!same_topology) {
     // A different (or resized) topology invalidates every interned id.
     if (topo_ != nullptr) pool_.clear();
@@ -234,6 +265,8 @@ void RoutingGraph::index_topology(const Topology& topo) {
   table_.assign(hosts_.size() * hosts_.size(), {});
   pair_links_.assign(table_.size(), {});
   link_pairs_.assign(link_count_, {});
+  materialized_.assign(table_.size(), 0);
+  materialized_count_ = 0;
   in_links_.assign(node_count_, {});
   for (const Link& l : topo.links()) {
     in_links_[l.dst.value()].push_back(l.id);
@@ -243,11 +276,15 @@ void RoutingGraph::index_topology(const Topology& topo) {
 void RoutingGraph::rebuild_full(const std::unordered_set<LinkId>& banned) {
   ++counters_.full_rebuilds;
   for (auto& slots : link_pairs_) slots.clear();
-  const std::size_t H = hosts_.size();
   for (std::size_t slot = 0; slot < table_.size(); ++slot) {
     table_[slot].clear();
     pair_links_[slot].clear();
-    if (slot / H == slot % H) continue;  // diagonal: src == dst
+    materialized_[slot] = 0;
+  }
+  materialized_count_ = 0;
+  if (build_ == BuildMode::kLazy) return;  // pairs recompute on first query
+  for (std::size_t slot = 0; slot < table_.size(); ++slot) {
+    if (diagonal(slot)) continue;  // src == dst
     recompute_pair(slot, banned);
   }
 }
@@ -287,10 +324,9 @@ void RoutingGraph::rebuild_incremental(
   }
   const std::size_t H = hosts_.size();
   const std::size_t total_pairs = H < 2 ? 0 : H * (H - 1);
-  if (added.empty() && removed.empty()) {
-    counters_.pairs_reused += total_pairs;
-    return;
-  }
+  // An empty delta cannot reach here: rebuild() early-returns when the
+  // banned set is unchanged, and set equality is exactly "no delta".
+  assert(!(added.empty() && removed.empty()));
   std::sort(added.begin(), added.end());
   std::sort(removed.begin(), removed.end());
 
@@ -314,6 +350,11 @@ void RoutingGraph::rebuild_incremental(
           const std::size_t slot = pair_slot(
               static_cast<std::uint32_t>(ai), static_cast<std::uint32_t>(bi));
           if (affected[slot] != 0) continue;
+          // Lazy: a pair with no current candidates has nothing a restored
+          // link could stale-ify; it recomputes on next query anyway.
+          if (build_ == BuildMode::kLazy && materialized_[slot] == 0) {
+            continue;
+          }
           const std::uint32_t dv = dist_from_v[hosts_[bi].value()];
           if (dv == kUnreachable) continue;
           const auto& ids = table_[slot];
@@ -330,6 +371,17 @@ void RoutingGraph::rebuild_incremental(
     }
   }
 
+  if (build_ == BuildMode::kLazy) {
+    // Affected pairs are dropped, not recomputed — the next query (if any
+    // ever comes) recomputes under the then-current banned set. Surviving
+    // materialized pairs are the reuse win.
+    for (std::size_t slot = 0; slot < table_.size(); ++slot) {
+      if (affected[slot] != 0) invalidate_pair(slot);
+    }
+    counters_.pairs_reused += materialized_count_;
+    return;
+  }
+
   std::size_t recomputed = 0;
   for (std::size_t slot = 0; slot < table_.size(); ++slot) {
     if (affected[slot] == 0) continue;
@@ -339,24 +391,56 @@ void RoutingGraph::rebuild_incremental(
   counters_.pairs_reused += total_pairs - recomputed;
 }
 
-void RoutingGraph::recompute_pair(std::size_t slot,
-                                  const std::unordered_set<LinkId>& banned) {
+void RoutingGraph::compute_pair(std::size_t slot,
+                                const std::unordered_set<LinkId>& banned,
+                                PairScratch& out) const {
   const std::size_t H = hosts_.size();
   const NodeId a = hosts_[slot / H];
   const NodeId b = hosts_[slot % H];
-  std::vector<LinkId> touched;
-  auto found = k_shortest_paths(*topo_, a, b, k_, banned, &touched);
+  out.found = k_shortest_paths(*topo_, a, b, k_, banned, &out.touched);
+  std::sort(out.touched.begin(), out.touched.end());
+  out.touched.erase(std::unique(out.touched.begin(), out.touched.end()),
+                    out.touched.end());
+}
+
+void RoutingGraph::commit_pair(std::size_t slot, PairScratch&& scratch) const {
   std::vector<PathId> ids;
-  ids.reserve(found.size());
-  for (Path& p : found) ids.push_back(pool_.intern(std::move(p)));
-  std::sort(touched.begin(), touched.end());
-  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-  set_pair(slot, std::move(ids), std::move(touched));
+  ids.reserve(scratch.found.size());
+  for (Path& p : scratch.found) ids.push_back(pool_.intern(std::move(p)));
+  set_pair(slot, std::move(ids), std::move(scratch.touched));
+  if (materialized_[slot] == 0) {
+    materialized_[slot] = 1;
+    ++materialized_count_;
+  }
   ++counters_.pairs_recomputed;
 }
 
+void RoutingGraph::recompute_pair(
+    std::size_t slot, const std::unordered_set<LinkId>& banned) const {
+  PairScratch scratch;
+  compute_pair(slot, banned, scratch);
+  commit_pair(slot, std::move(scratch));
+}
+
+void RoutingGraph::invalidate_pair(std::size_t slot) {
+  if (materialized_[slot] == 0) return;
+  // The candidate list goes; the stored touched union stays as the diff
+  // witness set_pair needs when the pair is eventually recomputed (and as a
+  // conservative reverse-index entry for future added-link scans).
+  table_[slot].clear();
+  materialized_[slot] = 0;
+  --materialized_count_;
+  ++counters_.pairs_invalidated;
+}
+
+void RoutingGraph::ensure_pair(std::size_t slot) const {
+  if (materialized_[slot] != 0 || diagonal(slot)) return;
+  recompute_pair(slot, banned_);
+  ++counters_.lazy_materializations;
+}
+
 void RoutingGraph::set_pair(std::size_t slot, std::vector<PathId> ids,
-                            std::vector<LinkId> touched) {
+                            std::vector<LinkId> touched) const {
   const std::vector<LinkId>& old_links = pair_links_[slot];
   const auto slot32 = static_cast<std::uint32_t>(slot);
   for (LinkId l : old_links) {
@@ -398,6 +482,40 @@ void RoutingGraph::bfs_hops(NodeId origin, bool reverse,
   }
 }
 
+void RoutingGraph::materialize_all(util::ThreadPool* pool) {
+  std::vector<std::uint32_t> todo;  // unmaterialized slots, canonical order
+  for (std::size_t slot = 0; slot < table_.size(); ++slot) {
+    if (materialized_[slot] == 0 && !diagonal(slot)) {
+      todo.push_back(static_cast<std::uint32_t>(slot));
+    }
+  }
+  if (todo.empty()) return;
+  if (pool == nullptr || pool->thread_count() <= 1) {
+    for (std::uint32_t slot : todo) recompute_pair(slot, banned_);
+    return;
+  }
+  // Fan the pure per-pair Yen runs across the pool into private scratch.
+  // Workers only read shared state (topology, banned set — both frozen for
+  // the duration); all interning happens after wait_idle() on this thread,
+  // walking `todo` in ascending slot order, so the PathId sequence is
+  // byte-identical to computing the same slots serially.
+  std::vector<PairScratch> scratch(todo.size());
+  const std::size_t chunk =
+      std::max<std::size_t>(1, todo.size() / (pool->thread_count() * 8));
+  for (std::size_t begin = 0; begin < todo.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, todo.size());
+    pool->submit([this, &todo, &scratch, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        compute_pair(todo[i], banned_, scratch[i]);
+      }
+    });
+  }
+  pool->wait_idle();  // happens-before: workers' scratch writes visible here
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    commit_pair(todo[i], std::move(scratch[i]));
+  }
+}
+
 PathSet RoutingGraph::paths(NodeId src_host, NodeId dst_host) const {
   const std::uint32_t a = host_slot(src_host);
   const std::uint32_t b = host_slot(dst_host);
@@ -407,7 +525,9 @@ PathSet RoutingGraph::paths(NodeId src_host, NodeId dst_host) const {
     static const std::vector<PathId> kNoIds;
     return {&kNoIds, &pool_};
   }
-  return {&table_[pair_slot(a, b)], &pool_};
+  const std::size_t slot = pair_slot(a, b);
+  ensure_pair(slot);
+  return {&table_[slot], &pool_};
 }
 
 bool RoutingGraph::is_host_pair(NodeId src_host, NodeId dst_host) const {
@@ -418,7 +538,9 @@ bool RoutingGraph::has_paths(NodeId src_host, NodeId dst_host) const {
   const std::uint32_t a = host_slot(src_host);
   const std::uint32_t b = host_slot(dst_host);
   if (a == kNotHost || b == kNotHost) return false;
-  return !table_[pair_slot(a, b)].empty();
+  const std::size_t slot = pair_slot(a, b);
+  ensure_pair(slot);
+  return !table_[slot].empty();
 }
 
 std::size_t RoutingGraph::pairs_using(LinkId l) const {
@@ -427,33 +549,40 @@ std::size_t RoutingGraph::pairs_using(LinkId l) const {
 }
 
 void RoutingGraph::encode_counters(sim::StateEncoder& enc) const {
-  // Rebuild-strategy observability: kIncremental and kFull produce
-  // identical tables but different work splits, so these live in their own
-  // snapshot section the cross-arm bisection skips.
+  // Rebuild-strategy observability: kIncremental/kFull and kLazy/kEager
+  // produce identical tables but different work splits, so these live in
+  // their own snapshot section the cross-arm bisection skips.
   enc.put_u64(counters_.full_rebuilds);
   enc.put_u64(counters_.incremental_rebuilds);
   enc.put_u64(counters_.pairs_recomputed);
   enc.put_u64(counters_.pairs_reused);
+  enc.put_u64(counters_.noop_rebuilds);
+  enc.put_u64(counters_.pairs_invalidated);
+  enc.put_u64(counters_.lazy_materializations);
+  enc.put_u64(static_cast<std::uint64_t>(materialized_count_));
 }
 
 void RoutingGraph::encode_state(sim::StateEncoder& enc) const {
+  enc.put_u32(kStateVersion);
   enc.put_u64(static_cast<std::uint64_t>(k_));
 
-  // Interned paths in id order: the pool is append-only, so the sequence of
-  // interned link chains is itself a fingerprint of every rebuild the run
-  // performed (and of its order — a divergence detector the candidate
-  // tables alone would miss).
-  enc.put_u32(static_cast<std::uint32_t>(pool_.size()));
-  for (std::size_t id = 0; id < pool_.size(); ++id) {
-    const Path& p = pool_.path(PathId{static_cast<std::uint32_t>(id)});
-    enc.put_u32(static_cast<std::uint32_t>(p.links.size()));
-    for (LinkId l : p.links) enc.put_u32(l.value());
-  }
-
+  // Per-pair candidate link chains in canonical slot order — not raw pool
+  // ids. Interning order tracks query order in lazy mode, so pool ids would
+  // make two behaviorally identical runs encode different bytes; the chains
+  // themselves are a pure function of (topology, banned set, k).
+  // Unmaterialized pairs are computed right here for the same reason: the
+  // forced work cannot perturb behavior, it only advances the rebuild-work
+  // counters (observability section, excluded from cross-arm comparison).
   enc.put_u32(static_cast<std::uint32_t>(table_.size()));
-  for (const auto& ids : table_) {
+  for (std::size_t slot = 0; slot < table_.size(); ++slot) {
+    ensure_pair(slot);
+    const auto& ids = table_[slot];
     enc.put_u32(static_cast<std::uint32_t>(ids.size()));
-    for (PathId id : ids) enc.put_u32(id.value());
+    for (PathId id : ids) {
+      const Path& p = pool_.path(id);
+      enc.put_u32(static_cast<std::uint32_t>(p.links.size()));
+      for (LinkId l : p.links) enc.put_u32(l.value());
+    }
   }
 
   std::vector<std::uint32_t> ban_ids;

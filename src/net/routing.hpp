@@ -7,6 +7,17 @@
 // rebuild() recompute only the pairs a failed/restored link can affect, and
 // the control plane (controller/allocator) passes ids on the per-flow hot
 // path instead of copying/comparing link vectors.
+//
+// Construction comes in two flavors (BuildMode), both provably identical to
+// the classic eager build because a pair's Yen candidate set is a pure
+// function of (topology, banned set, k) — query order cannot change results:
+//  - kEager: every pair computed up front (optionally fanned across a
+//    util::ThreadPool via materialize_all, which interns results in
+//    canonical slot order so PathId assignment matches a serial build).
+//  - kLazy: pairs computed on first paths()/has_paths() query; rebuild()
+//    merely *invalidates* affected materialized pairs instead of recomputing
+//    them. At warehouse scale most host pairs never carry a shuffle flow, so
+//    this removes the cold-build wall entirely.
 #pragma once
 
 #include <cassert>
@@ -25,6 +36,10 @@
 
 namespace pythia::sim {
 class StateEncoder;
+}
+
+namespace pythia::util {
+class ThreadPool;
 }
 
 namespace pythia::net {
@@ -68,19 +83,32 @@ class PathPool {
 
   [[nodiscard]] const Path& path(PathId id) const {
     assert(id.valid() && id.value() < paths_.size());
+#ifndef NDEBUG
+    // A stale id outlived a clear() (topology switch): resolving it would
+    // silently return some other topology's path. Debug builds abort here;
+    // release keeps the historical unchecked-index behavior.
+    assert(id.debug_generation() == generation_ &&
+           "stale PathId resolved after PathPool::clear (topology switch)");
+#endif
     return paths_[id.value()];
   }
   [[nodiscard]] std::size_t size() const { return paths_.size(); }
 
-  /// Drops every interned path; outstanding ids become invalid. Only called
+  /// Drops every interned path; outstanding ids become invalid (and debug
+  /// builds assert if one is later resolved — see generation()). Only called
   /// when the routing graph switches to a different topology.
   void clear();
+
+  /// Bumped by every clear(); ids minted before the bump are stale. Debug
+  /// builds stamp the generation into each returned PathId.
+  [[nodiscard]] std::uint32_t generation() const { return generation_; }
 
  private:
   std::deque<Path> paths_;
   // Hash of the link sequence → pool ids with that hash (collisions resolved
   // by full sequence equality in intern()).
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_;
+  std::uint32_t generation_ = 0;
 };
 
 /// Non-owning view of one host pair's candidate paths: an id vector in the
@@ -155,6 +183,17 @@ enum class RebuildMode : std::uint8_t {
   kFull,
 };
 
+/// When a RoutingGraph computes each host pair's candidates.
+enum class BuildMode : std::uint8_t {
+  /// Classic behavior: every pair Yen-computed at construction / rebuild.
+  kEager,
+  /// Pairs computed on first query; rebuild() invalidates affected
+  /// materialized pairs instead of recomputing them. Identical observable
+  /// results (per-pair Yen is pure in topology + banned set), proven by the
+  /// differential tests in tests/net/test_routing_lazy.cpp.
+  kLazy,
+};
+
 /// Observability for rebuild work (the routing_scaling bench reports the
 /// recomputed/reused split per failure event).
 struct RoutingCounters {
@@ -162,6 +201,14 @@ struct RoutingCounters {
   std::uint64_t incremental_rebuilds = 0;
   std::uint64_t pairs_recomputed = 0;
   std::uint64_t pairs_reused = 0;
+  /// rebuild() calls that were no-op deltas (same topology, same banned set)
+  /// and returned without touching any state.
+  std::uint64_t noop_rebuilds = 0;
+  /// Lazy mode: materialized pairs dropped by a rebuild delta (recomputed
+  /// only if queried again).
+  std::uint64_t pairs_invalidated = 0;
+  /// Lazy mode: pairs computed on first query (subset of pairs_recomputed).
+  std::uint64_t lazy_materializations = 0;
 };
 
 /// Precomputed k-shortest paths for every host pair. The SDN topology
@@ -169,10 +216,18 @@ struct RoutingCounters {
 /// incremental mode touches only affected pairs.
 class RoutingGraph {
  public:
-  RoutingGraph(const Topology& topo, std::size_t k);
+  /// kEager computes every pair up front (pass `pool` to fan the per-pair
+  /// Yen runs across worker threads; interning stays on this thread in
+  /// canonical slot order, so the result — including PathId values — is
+  /// byte-identical to a serial build). kLazy defers each pair to its first
+  /// query and ignores `pool`.
+  explicit RoutingGraph(const Topology& topo, std::size_t k,
+                        BuildMode build = BuildMode::kEager,
+                        util::ThreadPool* pool = nullptr);
 
   /// Equal-candidate path set for an ordered host pair; non-empty for every
-  /// connected pair. Precondition: both are hosts in this topology (asserted
+  /// connected pair. In lazy mode this materializes the pair on first use.
+  /// Precondition: both are hosts in this topology (asserted
   /// in debug; release returns an empty set — use has_paths()/is_host_pair()
   /// to distinguish "partitioned" from "not a host").
   [[nodiscard]] PathSet paths(NodeId src_host, NodeId dst_host) const;
@@ -183,7 +238,22 @@ class RoutingGraph {
 
   /// True iff the ordered pair is a host pair with at least one cached path
   /// (false means partitioned — or not hosts at all; see is_host_pair()).
+  /// In lazy mode this materializes the pair on first use.
   [[nodiscard]] bool has_paths(NodeId src_host, NodeId dst_host) const;
+
+  /// Computes every not-yet-materialized pair. With a thread pool, per-pair
+  /// Yen runs execute concurrently into private scratch and are interned on
+  /// the calling thread in canonical slot order — the PathId sequence (part
+  /// of the determinism contract) is identical to computing the same pairs
+  /// serially. Without one (or with a single-threaded pool), runs serially.
+  void materialize_all(util::ThreadPool* pool = nullptr);
+
+  /// Ordered host pairs whose candidates are currently computed. Equals the
+  /// full pair count for an eager graph; grows with queries in lazy mode.
+  [[nodiscard]] std::size_t pairs_materialized() const {
+    return materialized_count_;
+  }
+  [[nodiscard]] BuildMode build_mode() const { return build_; }
 
   [[nodiscard]] std::size_t k() const { return k_; }
   [[nodiscard]] const Topology& topology() const { return *topo_; }
@@ -203,17 +273,28 @@ class RoutingGraph {
 
   /// Recomputes the table, excluding `banned_links` (failed links) from
   /// every path — the controller's topology-update service calls this on
-  /// link-failure/restore events. kIncremental recomputes only pairs the
-  /// banned-set delta can affect; a different/resized topology always forces
-  /// a full rebuild (and invalidates pool ids).
+  /// link-failure/restore events. kIncremental recomputes (lazy: invalidates)
+  /// only pairs the banned-set delta can affect; a different/resized
+  /// topology always forces a full rebuild (and invalidates pool ids). A
+  /// no-op delta (same topology, same banned set) returns immediately,
+  /// bumping only the noop_rebuilds counter.
   void rebuild(const Topology& topo,
                const std::unordered_set<LinkId>& banned_links = {},
                RebuildMode mode = RebuildMode::kIncremental);
 
-  /// Serializes the routing state for snapshots: every interned path (in
-  /// id order — interning order is part of the determinism contract), the
-  /// per-pair candidate tables, and the banned set (sorted).
+  /// Serializes the routing state for snapshots (section version
+  /// kStateVersion): per-pair candidate link chains in slot order plus the
+  /// banned set (sorted). Chains — not raw pool ids — keep the section
+  /// independent of interning order, which in lazy mode depends on query
+  /// order; every unmaterialized pair is materialized first (pure per-pair
+  /// computation, so this cannot perturb behavior), making lazy, eager, and
+  /// parallel-built graphs byte-identical here.
   void encode_state(sim::StateEncoder& enc) const;
+
+  /// Leading u32 of the encode_state section; bumped when the routing
+  /// section layout changes (v2: slot-order link chains replaced the v1
+  /// pool-id dump — see docs/checkpoint.md).
+  static constexpr std::uint32_t kStateVersion = 2;
 
   /// Rebuild-work counters, serialized as their own snapshot section:
   /// contracted-identical arms (incremental vs. full rebuild) agree on
@@ -225,23 +306,49 @@ class RoutingGraph {
   static constexpr std::uint32_t kNotHost =
       std::numeric_limits<std::uint32_t>::max();
 
+  /// One pair's Yen result before interning: private scratch a worker thread
+  /// can fill without touching shared graph state. `touched` is sorted and
+  /// deduplicated by compute_pair().
+  struct PairScratch {
+    std::vector<Path> found;
+    std::vector<LinkId> touched;
+  };
+
   [[nodiscard]] std::uint32_t host_slot(NodeId n) const {
     return n.value() < host_slot_.size() ? host_slot_[n.value()] : kNotHost;
   }
   [[nodiscard]] std::size_t pair_slot(std::uint32_t a, std::uint32_t b) const {
     return static_cast<std::size_t>(a) * hosts_.size() + b;
   }
+  [[nodiscard]] bool diagonal(std::size_t slot) const {
+    return slot / hosts_.size() == slot % hosts_.size();
+  }
 
   void index_topology(const Topology& topo);
   void rebuild_full(const std::unordered_set<LinkId>& banned);
   void rebuild_incremental(const std::unordered_set<LinkId>& banned);
+  /// Pure per-pair Yen run into scratch: reads only the topology and the
+  /// banned set, writes only `out` — safe to fan across worker threads.
+  void compute_pair(std::size_t slot, const std::unordered_set<LinkId>& banned,
+                    PairScratch& out) const;
+  /// Interns a scratch result and installs it (PathId assignment happens
+  /// here, on the calling thread — never on workers). const because it
+  /// mutates only the lazy-cache members below.
+  void commit_pair(std::size_t slot, PairScratch&& scratch) const;
+  /// compute_pair + commit_pair for one slot.
   void recompute_pair(std::size_t slot,
-                      const std::unordered_set<LinkId>& banned);
+                      const std::unordered_set<LinkId>& banned) const;
+  /// Lazy mode: drops a materialized pair's candidates (the next query
+  /// recomputes them under the then-current banned set). Keeps the stored
+  /// touched union as the diff witness for the eventual re-commit.
+  void invalidate_pair(std::size_t slot);
+  /// Materializes `slot` if it is an unmaterialized off-diagonal pair.
+  void ensure_pair(std::size_t slot) const;
   /// Replaces a pair's candidates and touched-link union, updating the
   /// link → pairs reverse index by diffing old and new unions. `touched`
-  /// must be sorted and deduplicated.
+  /// must be sorted and deduplicated. const: lazy-cache members only.
   void set_pair(std::size_t slot, std::vector<PathId> ids,
-                std::vector<LinkId> touched);
+                std::vector<LinkId> touched) const;
   /// Hop-count BFS from `origin` over non-banned links; `reverse` walks
   /// links backwards (distance *to* origin). Fills `dist` (kUnreachable for
   /// disconnected nodes).
@@ -251,20 +358,29 @@ class RoutingGraph {
 
   const Topology* topo_ = nullptr;
   std::size_t k_ = 0;
-  PathPool pool_;
+  BuildMode build_ = BuildMode::kEager;
   std::vector<NodeId> hosts_;
   std::vector<std::uint32_t> host_slot_;  // node id → host index or kNotHost
-  // Dense table: slot = host_slot(src) * H + host_slot(dst).
-  std::vector<std::vector<PathId>> table_;
-  // Per-slot sorted union of links touched by the pair's last Yen run.
-  std::vector<std::vector<LinkId>> pair_links_;
-  // Reverse index: link id → slots whose last Yen run touched it.
-  std::vector<std::vector<std::uint32_t>> link_pairs_;
   std::vector<std::vector<LinkId>> in_links_;  // reverse adjacency for BFS
   std::unordered_set<LinkId> banned_;          // banned set of last rebuild
   std::size_t node_count_ = 0;
   std::size_t link_count_ = 0;
-  RoutingCounters counters_;
+
+  // Lazy cache: logically-const queries (paths/has_paths/encode_state)
+  // materialize pairs on demand, so these are mutable. Every materialized
+  // entry equals the pure per-pair Yen result under the current banned set —
+  // query order cannot change what is stored, only when.
+  mutable PathPool pool_;
+  // Dense table: slot = host_slot(src) * H + host_slot(dst).
+  mutable std::vector<std::vector<PathId>> table_;
+  // Per-slot sorted union of links touched by the pair's last Yen run.
+  mutable std::vector<std::vector<LinkId>> pair_links_;
+  // Reverse index: link id → slots whose last Yen run touched it.
+  mutable std::vector<std::vector<std::uint32_t>> link_pairs_;
+  // Per-slot flag: candidates computed and current (off-diagonal only).
+  mutable std::vector<char> materialized_;
+  mutable std::size_t materialized_count_ = 0;
+  mutable RoutingCounters counters_;
 };
 
 }  // namespace pythia::net

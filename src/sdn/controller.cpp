@@ -16,7 +16,11 @@ Controller::Controller(sim::Simulation& sim, net::Fabric& fabric,
       fabric_(&fabric),
       topo_(&topo),
       cfg_(cfg),
-      routing_(topo, cfg.k_paths),
+      // Lazy: pairs Yen-compute on first query, so warehouse-scale
+      // topologies don't pay the full cold build at startup. Behaviorally
+      // identical to eager (per-pair results are pure in topology + banned
+      // set); proven byte-identical by tests/net/test_routing_lazy.cpp.
+      routing_(topo, cfg.k_paths, net::BuildMode::kLazy),
       ecmp_(routing_),
       snapshot_load_bps_(topo.link_count(), 0.0),
       snapshot_shuffle_bps_(topo.link_count(), 0.0),
@@ -516,7 +520,11 @@ void Controller::encode_state(sim::StateEncoder& enc) const {
   for (std::uint64_t key : keys) {
     const PendingRule& pr = rules_.at(key);
     enc.put_u64(key);
-    enc.put_u32(pr.rule.path_id.value());
+    // The rule's path as its link chain, not the raw pool id: interning
+    // order (and therefore id values) tracks query order in the lazy
+    // routing graph, while the chain is pure behavior.
+    enc.put_u32(static_cast<std::uint32_t>(pr.rule.path->links.size()));
+    for (net::LinkId l : pr.rule.path->links) enc.put_u32(l.value());
     enc.put_bool(pr.active);
     enc.put_bool(pr.confirmed);
     enc.put_u64(static_cast<std::uint64_t>(pr.attempt));

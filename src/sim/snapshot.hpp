@@ -115,7 +115,11 @@ struct SnapshotSection {
 
 class Snapshot {
  public:
-  static constexpr std::uint32_t kFormatVersion = 1;
+  // v2: routing section switched from a pool-id dump to slot-ordered
+  // per-pair link chains, and controller/pythia sections encode rule paths
+  // as chains — interning order became query-dependent with the lazy
+  // routing graph (see docs/checkpoint.md).
+  static constexpr std::uint32_t kFormatVersion = 2;
 
   // --- identity + cursor (set by the capturing layer) ---
   std::uint64_t root_seed = 0;

@@ -14,6 +14,7 @@
 
 #include "experiments/scenario.hpp"
 #include "experiments/trace.hpp"
+#include "net/routing.hpp"
 #include "sim/snapshot.hpp"
 #include "workloads/hibench.hpp"
 
@@ -140,6 +141,30 @@ TEST(CheckpointDrill, MidLinkFailureRestoresWithPrologue) {
   RestoreResult wrong = restore_snapshot(snap, cfg, job);
   EXPECT_FALSE(wrong.verified);
   EXPECT_FALSE(wrong.divergence.empty());
+}
+
+/// The controller's routing graph is built lazily; the snapshot routing
+/// section (slot-ordered link chains, forced materialization) must
+/// nonetheless byte-match an eagerly built graph on the same topology — the
+/// contract that makes lazy construction invisible to checkpoint identity.
+TEST(CheckpointIdentity, LazyRoutingSectionMatchesEagerBuild) {
+  const ScenarioConfig cfg = faulted_config(5);
+  const auto job = test_job();
+  Scenario scenario(cfg);
+  scenario.submit_job(job);
+  scenario.run_to_event_count(400);
+  ASSERT_EQ(scenario.controller().routing().build_mode(),
+            net::BuildMode::kLazy);
+  // A real mid-run capture leaves some pairs unmaterialized.
+  const sim::Snapshot snap = capture_snapshot(scenario, job, "lazy-vs-eager");
+  const auto* routing = snap.section("routing");
+  ASSERT_NE(routing, nullptr);
+
+  const net::RoutingGraph eager(scenario.topology(),
+                                cfg.controller.k_paths);
+  sim::StateEncoder enc;
+  eager.encode_state(enc);
+  EXPECT_EQ(routing->bytes, enc.take());
 }
 
 TEST(CheckpointIdentity, RestoreRefusesForeignUniverse) {

@@ -247,8 +247,12 @@ TEST(RoutingGraph, IncrementalNoopRebuildRecomputesNothing) {
   const auto before = rg.counters();
   rg.rebuild(topo);  // same topology, same (empty) ban set
   const auto after = rg.counters();
+  // A no-op delta early-returns: no recomputation, no rebuild-counter bump,
+  // no reuse credit — only the dedicated noop counter moves.
   EXPECT_EQ(after.pairs_recomputed, before.pairs_recomputed);
-  EXPECT_EQ(after.incremental_rebuilds, before.incremental_rebuilds + 1);
+  EXPECT_EQ(after.incremental_rebuilds, before.incremental_rebuilds);
+  EXPECT_EQ(after.pairs_reused, before.pairs_reused);
+  EXPECT_EQ(after.noop_rebuilds, before.noop_rebuilds + 1);
 }
 
 TEST(RoutingGraph, PairsUsingReverseIndex) {

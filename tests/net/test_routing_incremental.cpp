@@ -39,13 +39,19 @@ void expect_tables_identical(const Topology& topo, const RoutingGraph& inc,
   }
 }
 
-/// Runs `steps` random fail/restore events against both rebuild modes.
+/// Runs `steps` random fail/restore events against both rebuild modes plus
+/// two lazy graphs (one queried in full each step, one only sparsely).
 /// Links fail in duplex pairs (a physical cable takes both directions),
 /// which is also what the controller does on handle_link_failure.
 void run_churn(const Topology& topo, std::size_t k, std::uint64_t seed,
                int steps) {
   RoutingGraph inc(topo, k);
   RoutingGraph full(topo, k);
+  // `lazy` is fully compared (and therefore fully materialized) every step;
+  // `sparse` only ever sees a handful of random queries per step, so its
+  // invalidate-on-rebuild path stays partially materialized throughout.
+  RoutingGraph lazy(topo, k, BuildMode::kLazy);
+  RoutingGraph sparse(topo, k, BuildMode::kLazy);
   util::Xoshiro256 rng(seed);
 
   // Only switch-switch cables fail: losing a host's single access link just
@@ -72,7 +78,22 @@ void run_churn(const Topology& topo, std::size_t k, std::uint64_t seed,
     }
     inc.rebuild(topo, banned, RebuildMode::kIncremental);
     full.rebuild(topo, banned, RebuildMode::kFull);
+    lazy.rebuild(topo, banned, RebuildMode::kIncremental);
+    sparse.rebuild(topo, banned, RebuildMode::kIncremental);
     expect_tables_identical(topo, inc, full, step);
+    expect_tables_identical(topo, lazy, full, step);
+    const auto hosts = topo.hosts();
+    for (int q = 0; q < 4; ++q) {
+      const NodeId a = hosts[rng.below(hosts.size())];
+      NodeId b = a;
+      while (b == a) b = hosts[rng.below(hosts.size())];
+      const auto ps = sparse.paths(a, b);
+      const auto pf = full.paths(a, b);
+      ASSERT_EQ(ps.size(), pf.size()) << "sparse step " << step;
+      for (std::size_t i = 0; i < ps.size(); ++i) {
+        ASSERT_EQ(ps[i].links, pf[i].links) << "sparse step " << step;
+      }
+    }
   }
   EXPECT_EQ(inc.counters().incremental_rebuilds,
             static_cast<std::uint64_t>(steps));
@@ -80,6 +101,10 @@ void run_churn(const Topology& topo, std::size_t k, std::uint64_t seed,
   EXPECT_GT(inc.counters().pairs_reused, 0u);
   EXPECT_LT(inc.counters().pairs_recomputed,
             full.counters().pairs_recomputed);
+  // And the sparse lazy graph never paid for pairs nobody asked about.
+  EXPECT_LT(sparse.pairs_materialized(), lazy.pairs_materialized());
+  // Final sweep: the sparse graph, fully queried now, agrees everywhere.
+  expect_tables_identical(topo, sparse, full, steps);
 }
 
 class FatTreeChurn : public ::testing::TestWithParam<std::uint64_t> {};
