@@ -35,15 +35,27 @@ EventHandle EventQueue::schedule(util::SimTime at, EventFn fn) {
 }
 
 bool EventQueue::run_one() {
-  while (!heap_.empty()) {
+  for (;;) {
+    skim_cancelled();
+    if (heap_.empty()) {
+      // Drain is a cohort boundary: give listeners a chance to flush
+      // deferred work (which may schedule new events), then look again.
+      if (cohort_dirty_) {
+        notify_cohort_end();
+        continue;
+      }
+      return false;
+    }
+    if (cohort_dirty_ && heap_.front().at > now_) {
+      // About to advance past the current instant — close the cohort first.
+      // A flush may schedule an event at or before the old heap top, so
+      // re-examine the heap rather than running blindly.
+      notify_cohort_end();
+      continue;
+    }
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     Entry entry = std::move(heap_.back());
     heap_.pop_back();
-    if (entry.state->cancelled) {  // live_ already decremented by cancel()
-      assert(cancelled_in_heap_ > 0);
-      --cancelled_in_heap_;
-      continue;
-    }
     entry.state->fired = true;
     --live_;
     assert(entry.at >= now_);
@@ -55,7 +67,6 @@ bool EventQueue::run_one() {
     entry.fn();
     return true;
   }
-  return false;
 }
 
 std::size_t EventQueue::run_all(std::size_t limit) {
@@ -66,16 +77,19 @@ std::size_t EventQueue::run_all(std::size_t limit) {
 
 std::size_t EventQueue::run_until(util::SimTime until) {
   std::size_t n = 0;
-  while (!heap_.empty()) {
-    // Skim cancelled entries so the heap top reflects the next real event.
-    while (!heap_.empty() && heap_.front().state->cancelled) {
-      std::pop_heap(heap_.begin(), heap_.end(), Later{});
-      heap_.pop_back();
-      assert(cancelled_in_heap_ > 0);
-      --cancelled_in_heap_;
+  for (;;) {
+    skim_cancelled();
+    if (!heap_.empty() && heap_.front().at <= until) {
+      if (run_one()) ++n;
+      continue;
     }
-    if (heap_.empty() || heap_.front().at > until) break;
-    if (run_one()) ++n;
+    // Parking (or draining) is a cohort boundary; a flush may schedule
+    // events inside the window, so loop instead of breaking outright.
+    if (cohort_dirty_) {
+      notify_cohort_end();
+      continue;
+    }
+    break;
   }
   if (now_ < until) now_ = until;
   return n;
@@ -102,6 +116,33 @@ void EventQueue::advance_now(util::SimTime to) {
           pending_events().front().at >= to) &&
          "cannot idle-advance past a live event");
   now_ = to;
+}
+
+std::size_t EventQueue::add_cohort_listener(CohortListener fn) {
+  const std::size_t token = next_cohort_token_++;
+  cohort_listeners_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void EventQueue::remove_cohort_listener(std::size_t token) {
+  std::erase_if(cohort_listeners_,
+                [token](const auto& p) { return p.first == token; });
+}
+
+void EventQueue::skim_cancelled() {
+  while (!heap_.empty() && heap_.front().state->cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    assert(cancelled_in_heap_ > 0);
+    --cancelled_in_heap_;
+  }
+}
+
+void EventQueue::notify_cohort_end() {
+  // Clear first: a listener that defers new work mid-flush re-arms the flag
+  // and earns another boundary pass.
+  cohort_dirty_ = false;
+  for (auto& [token, fn] : cohort_listeners_) fn();
 }
 
 void EventQueue::maybe_compact() {
