@@ -284,6 +284,11 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     }
+    // --json-out: shared artifact-redirect flag (see bench_cli.hpp); wins
+    // over --out so CI can point every bench somewhere collision-free.
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
     // --one k:flows:engine runs a single arm once (no JSON) — the loop for
     // profiling one cell under gprof/perf without sweeping the whole grid.
     if (std::strcmp(argv[i], "--one") == 0 && i + 1 < argc) one = argv[++i];

@@ -338,6 +338,11 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     }
+    // --json-out: shared artifact-redirect flag (see bench_cli.hpp); wins
+    // over --out so CI can point every bench somewhere collision-free.
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
   }
 
   // k=16 at canonical density would be 1024 hosts / ~1M pairs; one host per

@@ -90,8 +90,10 @@ int main(int argc, char** argv) {
               hw, speedup8,
               bit_identical ? "bit-identical" : "DIVERGED (bug!)");
 
-  if (!args.out.empty()) {
-    std::ofstream out(args.out);
+  const std::string json_path =
+      !args.json_out.empty() ? args.json_out : args.out;
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
     out << "{\n"
         << "  \"bench\": \"sweep_scaling\",\n"
         << "  \"mode\": \"" << (args.smoke ? "smoke" : "full") << "\",\n"
@@ -111,7 +113,7 @@ int main(int argc, char** argv) {
     std::snprintf(buf, sizeof(buf),
                   "  },\n  \"speedup_8_vs_1\": %.4f\n}\n", speedup8);
     out << buf;
-    std::printf("(results written to %s)\n", args.out.c_str());
+    std::printf("(results written to %s)\n", json_path.c_str());
   }
   return bit_identical ? 0 : 1;
 }

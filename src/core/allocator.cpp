@@ -39,6 +39,14 @@ util::Bytes Allocator::pair_outstanding(net::NodeId src,
                                  : util::Bytes{it->second.outstanding};
 }
 
+bool Allocator::pair_coalescable(net::NodeId src_server,
+                                 net::NodeId dst_server) const {
+  if (suspended_) return true;
+  const auto it = aggregates_.find(aggregate_key(src_server, dst_server));
+  return it != aggregates_.end() && it->second.installed &&
+         it->second.outstanding > 0;
+}
+
 net::PathId Allocator::effective_path(net::PathId chosen) {
   if (cfg_.aggregation == Aggregation::kServerPair) return chosen;
   const net::Path& path = controller_->path(chosen);
@@ -52,11 +60,13 @@ net::PathId Allocator::effective_path(net::PathId chosen) {
 }
 
 bool Allocator::install(net::NodeId src, net::NodeId dst, net::PathId chosen,
-                        util::Bytes volume_hint) {
+                        util::Bytes volume_hint,
+                        std::uint64_t intent_weight) {
   const net::Path& path = controller_->path(chosen);
   if (cfg_.aggregation == Aggregation::kServerPair ||
       path.links.size() < 3) {
-    return controller_->install_path_id(src, dst, chosen, volume_hint);
+    return controller_->install_path_id(src, dst, chosen, volume_hint,
+                                        intent_weight);
   }
   const auto& topo = controller_->topology();
   controller_->install_rack_path(topo.node(src).rack, topo.node(dst).rack,
@@ -116,16 +126,19 @@ void Allocator::pack_onto(net::PathId path, std::int64_t bytes) {
 
 void Allocator::add_predicted_volume(net::NodeId src_server,
                                      net::NodeId dst_server,
-                                     util::Bytes wire_bytes) {
+                                     util::Bytes wire_bytes,
+                                     std::uint64_t intent_count) {
   assert(wire_bytes >= util::Bytes::zero());
   Aggregate& agg = aggregates_[aggregate_key(src_server, dst_server)];
   agg.src = src_server;
   agg.dst = dst_server;
 
   if (suspended_) {
-    // Watchdog fallback: keep the books, touch nothing in the network.
+    // Watchdog fallback: keep the books, touch nothing in the network. Every
+    // coalesced intent counts as a suppressed install — the fallback denies
+    // each of them a rule, not the submission as a whole.
     agg.outstanding += wire_bytes.count();
-    ++installs_suppressed_;
+    installs_suppressed_ += intent_count;
     return;
   }
 
@@ -142,7 +155,8 @@ void Allocator::add_predicted_volume(net::NodeId src_server,
       return;
     }
     if (!install(src_server, dst_server, chosen,
-                 util::Bytes{agg.outstanding + wire_bytes.count()})) {
+                 util::Bytes{agg.outstanding + wire_bytes.count()},
+                 intent_count)) {
       // Controller refused the rule (full flow table, stale path): the
       // aggregate rides ECMP, so packing the chosen path would poison the
       // books for every later allocation.

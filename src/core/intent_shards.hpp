@@ -1,0 +1,121 @@
+// Per-pod collector shards with bounded admission.
+//
+// The sharded intent pipeline accumulates admitted shuffle intents into
+// per-locality-group ("pod") queues between event cohorts. Admission is
+// bounded *per pod*, never per physical shard, so the admit/refuse decision
+// for any intent is independent of how pods are distributed over shards —
+// the property that makes the pipeline byte-identical at any shard count.
+// Bounded queues reuse the flow-table eviction semantics from the control
+// plane: a full pod evicts its smallest-volume intent when the newcomer is
+// strictly larger, otherwise the newcomer is refused synchronously (the
+// prediction is lost and its traffic simply rides ECMP, the same "never
+// worse than ECMP" degradation the rest of the system promises).
+//
+// Draining is canonical: all shards are merged and sorted by
+// (pod, priority desc, src, dst, job, reduce, map, admission seq) — a total
+// order, so the drained sequence is identical whatever the shard layout.
+// Pair-contiguity within a (pod, priority) band is what the batched drain
+// exploits: every intent for one (src, dst) aggregate in a cohort forms one
+// contiguous run that coalesces into a single allocator submission.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace pythia::sim {
+class StateEncoder;
+}
+
+namespace pythia::core {
+
+/// An intent whose destination is resolved and which passed admission; the
+/// unit the cohort drain operates on.
+struct AdmittedIntent {
+  std::int32_t pod = 0;       // locality group of the source server
+  std::int32_t priority = 0;  // tenant priority; higher drains first
+  std::uint64_t job_serial = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t reduce_index = 0;
+  std::uint64_t map_index = 0;
+  std::int64_t wire_bytes = 0;
+  util::SimTime admitted_at;
+  /// TTL horizon inherited from the held-intent that produced this entry
+  /// (held_at + ttl); SimTime::max() when expiry is disabled. The drain
+  /// re-checks it so an intent can never install past its TTL.
+  util::SimTime expires_at = util::SimTime::max();
+  std::uint64_t admit_seq = 0;  // global admission order; final tie-break
+};
+
+/// Canonical drain order: (pod, priority desc, src, dst, job, reduce, map,
+/// admit_seq). Total order (admit_seq is unique), hence shard-layout
+/// independent.
+[[nodiscard]] bool canonical_intent_less(const AdmittedIntent& a,
+                                         const AdmittedIntent& b);
+
+class ShardedIntentQueue {
+ public:
+  struct Config {
+    /// Physical shard count; pods map to shards by modulo. Purely a layout
+    /// parameter — admission and drain results are identical for any value.
+    std::size_t shard_count = 1;
+    /// Max queued intents per pod between cohort boundaries; 0 = unbounded.
+    std::size_t pod_capacity = 0;
+  };
+
+  enum class Admission : std::uint8_t {
+    kAdmitted = 0,
+    /// Admitted after evicting the pod's smallest-volume queued intent.
+    kAdmittedWithEviction = 1,
+    /// Refused synchronously: the pod is full and the newcomer is not
+    /// strictly larger than the smallest queued intent.
+    kRefused = 2,
+  };
+
+  explicit ShardedIntentQueue(Config cfg);
+
+  /// Admits `intent` into its pod's queue (stamping admit_seq), applying the
+  /// per-pod bound.
+  Admission admit(AdmittedIntent intent);
+
+  /// Removes and returns every queued intent in canonical order.
+  std::vector<AdmittedIntent> drain();
+
+  /// Drops queued intents belonging to `job_serial`; returns how many.
+  std::size_t purge_job(std::uint64_t job_serial);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t refused() const { return refused_; }
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
+
+  /// Serializes queue content (pods ascending, intents in queue order) and
+  /// the admission sequence counter. Deliberately shard-layout independent:
+  /// two queues holding the same intents encode identically at any
+  /// shard_count.
+  void encode_state(sim::StateEncoder& enc) const;
+
+ private:
+  struct Shard {
+    /// Per-pod FIFO accumulation; ordered map so encode/drain walk pods
+    /// deterministically.
+    std::map<std::int32_t, std::vector<AdmittedIntent>> pods;
+  };
+  [[nodiscard]] std::size_t shard_for(std::int32_t pod) const;
+
+  Config cfg_;
+  std::vector<Shard> shards_;
+  std::size_t size_ = 0;
+  std::uint64_t next_admit_seq_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t refused_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace pythia::core

@@ -37,28 +37,33 @@ void ControlPlaneWatchdog::refresh_failure_window() {
     return;
   }
   window_start_ = now;
-  window_base_attempts_ = controller_->install_attempts();
-  window_base_failures_ = controller_->install_failures();
-  window_base_table_rejects_ = controller_->table_rejects();
+  window_base_attempts_ = controller_->install_attempt_intents();
+  window_base_failures_ = controller_->install_failure_intents();
+  window_base_table_rejects_ = controller_->table_reject_intents();
 }
 
 double ControlPlaneWatchdog::recent_install_failure_rate() const {
   // Table-admission refusals never become attempts, but a rule Pythia cannot
   // place is just as lost to it as one the switch rejected — count both.
+  // Intent-weighted: a refused rule carrying a batch of 30 coalesced intents
+  // strands 30 predictions, not 1, and the ECMP-fallback trigger must see a
+  // failure rate proportional to the stranded traffic.
   const std::uint64_t refusals =
-      controller_->table_rejects() - window_base_table_rejects_;
+      controller_->table_reject_intents() - window_base_table_rejects_;
   const std::uint64_t attempts =
-      controller_->install_attempts() - window_base_attempts_ + refusals;
+      controller_->install_attempt_intents() - window_base_attempts_ +
+      refusals;
   if (attempts == 0) return 0.0;
   const std::uint64_t failures =
-      controller_->install_failures() - window_base_failures_ + refusals;
+      controller_->install_failure_intents() - window_base_failures_ +
+      refusals;
   return static_cast<double>(failures) / static_cast<double>(attempts);
 }
 
 bool ControlPlaneWatchdog::install_failures_excessive() const {
   const std::uint64_t attempts =
-      controller_->install_attempts() - window_base_attempts_ +
-      (controller_->table_rejects() - window_base_table_rejects_);
+      controller_->install_attempt_intents() - window_base_attempts_ +
+      (controller_->table_reject_intents() - window_base_table_rejects_);
   if (attempts < cfg_.min_install_samples) return false;
   return recent_install_failure_rate() >= cfg_.install_failure_threshold;
 }

@@ -102,7 +102,9 @@ class ControlPlaneWatchdog {
   util::SimTime last_notification_{-1};
   util::SimTime healthy_since_{-1};
 
-  /// Failure-rate sampling window over the controller's install counters.
+  /// Failure-rate sampling window over the controller's *intent-weighted*
+  /// install counters: batched rules weigh by coalesced intent count, so a
+  /// failed batch of 30 counts as 30 lost predictions, not one event.
   util::SimTime window_start_{-1};
   std::uint64_t window_base_attempts_ = 0;
   std::uint64_t window_base_failures_ = 0;

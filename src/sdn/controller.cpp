@@ -235,6 +235,20 @@ bool Controller::admit_to_tables(const net::Path& path,
         return false;
       }
       ++evictions_;
+      // The victim's install attempt may still be deferred in an open batch;
+      // serially it was attempted at its own install time, before this
+      // eviction. Flush first so the attempt (and every deferred one before
+      // it, in insertion order) happens exactly as the serial arm did it —
+      // erasing an unattempted rule would drop its counters and RNG draws.
+      if (batch_open_) {
+        const std::uint64_t vkey = victim->first;
+        if (std::any_of(batch_pending_.begin(), batch_pending_.end(),
+                        [vkey](const auto& p) { return p.first == vkey; })) {
+          flush_install_batch();
+          victim = rules_.find(vkey);
+          if (victim == rules_.end()) continue;  // flushed away; rescan
+        }
+      }
       erase_rule(victim);
     }
   }
@@ -252,7 +266,8 @@ bool Controller::install_path(net::NodeId src_host, net::NodeId dst_host,
 
 bool Controller::install_path_id(net::NodeId src_host, net::NodeId dst_host,
                                  net::PathId path_id,
-                                 util::Bytes volume_hint) {
+                                 util::Bytes volume_hint,
+                                 std::uint64_t intent_weight) {
   const net::Path& path = routing_.path(path_id);
   assert(topo_->validate_path(src_host, dst_host, path.links));
   // Refuse rules over failed links: the requester is working from stale
@@ -264,11 +279,22 @@ bool Controller::install_path_id(net::NodeId src_host, net::NodeId dst_host,
   const util::SimTime now = sim_->now();
 
   // A re-install supersedes any previous rule for the pair (and releases its
-  // table entries before the admission check).
+  // table entries before the admission check). If the superseded rule's
+  // install attempt is still deferred in an open batch, flush the batch
+  // first — the serial order is "attempt old rule, then install new rule",
+  // and skipping the old attempt would shift every later RNG draw.
+  if (batch_open_ &&
+      std::any_of(batch_pending_.begin(), batch_pending_.end(),
+                  [key](const auto& p) { return p.first == key; })) {
+    flush_install_batch();
+  }
   if (auto existing = rules_.find(key); existing != rules_.end()) {
     erase_rule(existing);
   }
-  if (!admit_to_tables(path, volume_hint)) return false;
+  if (!admit_to_tables(path, volume_hint)) {
+    table_reject_intents_ += intent_weight;
+    return false;
+  }
 
   PendingRule pending;
   pending.rule = PathRule{src_host, dst_host, path_id, &path, now,
@@ -276,6 +302,7 @@ bool Controller::install_path_id(net::NodeId src_host, net::NodeId dst_host,
   pending.active = false;
   pending.volume_hint = volume_hint;
   pending.epoch = ++install_epoch_;
+  pending.intent_weight = intent_weight;
   for (net::LinkId l : path.links) {
     const net::NodeId sw = topo_->link(l).src;
     if (topo_->node(sw).kind == net::NodeKind::kSwitch) {
@@ -283,9 +310,37 @@ bool Controller::install_path_id(net::NodeId src_host, net::NodeId dst_host,
     }
   }
   ++rules_installed_;
+  const std::uint64_t epoch = pending.epoch;
   rules_[key] = std::move(pending);
-  attempt_install(key);
+  if (batch_open_) {
+    batch_pending_.emplace_back(key, epoch);
+  } else {
+    attempt_install(key);
+  }
   return true;
+}
+
+void Controller::begin_install_batch() {
+  assert(!batch_open_);
+  batch_open_ = true;
+}
+
+void Controller::flush_install_batch() {
+  for (std::size_t i = 0; i < batch_pending_.size(); ++i) {
+    const auto [key, epoch] = batch_pending_[i];
+    const auto it = rules_.find(key);
+    // Superseded or removed while deferred: its replacement carries its own
+    // batch entry (or was installed unbatched after a flush).
+    if (it == rules_.end() || it->second.epoch != epoch) continue;
+    attempt_install(key);
+  }
+  batch_pending_.clear();
+}
+
+void Controller::commit_install_batch() {
+  assert(batch_open_);
+  flush_install_batch();
+  batch_open_ = false;
 }
 
 void Controller::attempt_install(std::uint64_t key) {
@@ -295,10 +350,12 @@ void Controller::attempt_install(std::uint64_t key) {
   const std::uint64_t epoch = pending.epoch;
   const std::size_t attempt = pending.attempt;
   ++install_attempts_;
+  install_attempt_intents_ += pending.intent_weight;
 
   if (cfg_.install_reject_probability > 0.0 &&
       sim_->rng("sdn.install").uniform01() < cfg_.install_reject_probability) {
     ++install_rejects_;
+    install_reject_intents_ += pending.intent_weight;
     fail_attempt(key);
     return;
   }
@@ -328,6 +385,7 @@ void Controller::attempt_install(std::uint64_t key) {
         return;
       }
       ++install_timeouts_;
+      install_timeout_intents_ += cur->second.intent_weight;
       fail_attempt(key);
     });
   }
@@ -532,6 +590,7 @@ void Controller::encode_state(sim::StateEncoder& enc) const {
     enc.put_time(pr.rule.requested_at);
     enc.put_time(pr.rule.active_at);
     enc.put_i64(pr.volume_hint.count());
+    enc.put_u64(pr.intent_weight);
   }
 
   std::vector<std::pair<std::uint32_t, std::uint64_t>> occupancy;
@@ -589,6 +648,19 @@ void Controller::encode_state(sim::StateEncoder& enc) const {
   enc.put_u64(evictions_);
   enc.put_u64(table_rejects_);
   enc.put_u64(rules_cleared_);
+  enc.put_u64(install_attempt_intents_);
+  enc.put_u64(install_reject_intents_);
+  enc.put_u64(install_timeout_intents_);
+  enc.put_u64(table_reject_intents_);
+
+  // Open-batch state (empty outside a cohort drain; encoded for capture-
+  // anywhere completeness).
+  enc.put_bool(batch_open_);
+  enc.put_u32(static_cast<std::uint32_t>(batch_pending_.size()));
+  for (const auto& [key, epoch] : batch_pending_) {
+    enc.put_u64(key);
+    enc.put_u64(epoch);
+  }
 
   flow_mod_channel_.encode_state(enc);
 }

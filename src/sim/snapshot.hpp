@@ -119,7 +119,12 @@ class Snapshot {
   // per-pair link chains, and controller/pythia sections encode rule paths
   // as chains — interning order became query-dependent with the lazy
   // routing graph (see docs/checkpoint.md).
-  static constexpr std::uint32_t kFormatVersion = 2;
+  // v3: sharded intent pipeline — collector section gained pipeline mode,
+  // per-intent windowed batch counts, shard-queue content, and admission/
+  // coalescing counters; controller rules carry intent weights plus the
+  // intent-weighted outcome counters and open-batch state (see
+  // docs/architecture.md pipeline section).
+  static constexpr std::uint32_t kFormatVersion = 3;
 
   // --- identity + cursor (set by the capturing layer) ---
   std::uint64_t root_seed = 0;

@@ -1,0 +1,264 @@
+// Differential and defensive tests for the cohort intent pipelines:
+//
+//  * serial vs batched drains are byte-identical (plain and under
+//    flow-table pressure, where refusals keep pairs un-coalescable);
+//  * the sharded admission layout (1 / 3 / one-per-pod shards) never leaks
+//    into behavior, including with bounded pods and job purges in play;
+//  * TTL expiry and job-completion purges keep un-installable intents out
+//    of the drain entirely;
+//  * bounded pods evict only for strictly larger newcomers and refuse the
+//    rest, synchronously;
+//  * watchdog failure accounting is intent-weighted under batching.
+#include "core/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/watchdog.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "sdn/controller.hpp"
+#include "sim/simulation.hpp"
+#include "sim/snapshot.hpp"
+#include "workloads/open_arrival.hpp"
+
+namespace pythia::core {
+namespace {
+
+using net::NodeId;
+using util::Bytes;
+using util::Duration;
+using util::SimTime;
+
+/// One full collector→allocator→controller stack; arms under comparison
+/// each build their own against a shared topology.
+struct Stack {
+  sim::Simulation sim;
+  net::Fabric fabric;
+  sdn::Controller controller;
+  Allocator allocator;
+  Collector collector;
+
+  Stack(const net::Topology& topo, CollectorConfig ccfg,
+        sdn::ControllerConfig ctcfg = {}, std::uint64_t seed = 7)
+      : sim(seed),
+        fabric(sim, topo),
+        controller(sim, fabric, topo, ctcfg),
+        allocator(controller),
+        collector(sim, allocator, ccfg) {}
+
+  /// The cross-arm identity image: pipeline-invariant collector state plus
+  /// the full allocator and controller state.
+  [[nodiscard]] std::vector<std::uint8_t> image() {
+    sim::StateEncoder enc;
+    collector.encode_behavior(enc);
+    allocator.encode_state(enc);
+    controller.encode_state(enc);
+    return enc.bytes();
+  }
+};
+
+net::Topology fat_tree4() {
+  net::FatTreeConfig cfg;
+  cfg.k = 4;
+  return net::make_fat_tree(cfg);
+}
+
+std::vector<workloads::StormEvent> small_storm(const net::Topology& topo) {
+  workloads::OpenArrivalConfig cfg;
+  cfg.jobs = 10;
+  cfg.mean_interarrival = Duration::millis(15);
+  return workloads::generate_storm(cfg, topo, /*seed=*/11);
+}
+
+std::vector<std::uint8_t> run_storm(
+    const net::Topology& topo, const std::vector<workloads::StormEvent>& ev,
+    IntentPipeline pipeline, std::size_t shards,
+    std::size_t pod_capacity = 0, std::size_t flow_table_capacity = 0) {
+  CollectorConfig ccfg;
+  ccfg.pipeline = pipeline;
+  ccfg.shard_count = shards;
+  ccfg.pod_queue_capacity = pod_capacity;
+  sdn::ControllerConfig ctcfg;
+  ctcfg.flow_table_capacity = flow_table_capacity;
+  Stack s(topo, ccfg, ctcfg);
+  workloads::schedule_storm(s.sim, s.collector, ev);
+  s.sim.run();
+  return s.image();
+}
+
+TEST(IntentPipeline, SerialAndBatchedArmsByteIdentical) {
+  const net::Topology topo = fat_tree4();
+  const auto ev = small_storm(topo);
+  const auto serial = run_storm(topo, ev, IntentPipeline::kCohortSerial, 1);
+  const auto batched = run_storm(topo, ev, IntentPipeline::kCohortBatched, 1);
+  EXPECT_EQ(serial, batched);
+}
+
+TEST(IntentPipeline, SerialAndBatchedIdenticalUnderTablePressure) {
+  // A tiny flow table forces admission refusals and evictions inside the
+  // controller; refused pairs never become coalescable, so the batched arm
+  // must keep submitting them per-intent to stay identical.
+  const net::Topology topo = fat_tree4();
+  const auto ev = small_storm(topo);
+  const auto serial = run_storm(topo, ev, IntentPipeline::kCohortSerial, 1,
+                                /*pod_capacity=*/0, /*table=*/3);
+  const auto batched = run_storm(topo, ev, IntentPipeline::kCohortBatched, 1,
+                                 /*pod_capacity=*/0, /*table=*/3);
+  EXPECT_EQ(serial, batched);
+}
+
+TEST(IntentPipeline, ShardCountInvariance) {
+  // The shard layout is a physical knob only: 1 shard, 3 shards, and
+  // one-per-pod must drain byte-identically — also with bounded pods, so
+  // refusal/eviction decisions cannot depend on the layout either.
+  const net::Topology topo = fat_tree4();
+  const auto ev = small_storm(topo);
+  for (const std::size_t cap : {std::size_t{0}, std::size_t{6}}) {
+    const auto one =
+        run_storm(topo, ev, IntentPipeline::kCohortBatched, 1, cap);
+    const auto three =
+        run_storm(topo, ev, IntentPipeline::kCohortBatched, 3, cap);
+    const auto per_pod =
+        run_storm(topo, ev, IntentPipeline::kCohortBatched, 0, cap);
+    EXPECT_EQ(one, three) << "pod capacity " << cap;
+    EXPECT_EQ(one, per_pod) << "pod capacity " << cap;
+  }
+}
+
+TEST(IntentPipeline, TtlExpiryMidCohortNotInstallable) {
+  // The reducer location arrives exactly at the TTL horizon: the held
+  // intent must expire before admission, never reach a shard, and install
+  // nothing — in both cohort pipelines.
+  const net::Topology topo = fat_tree4();
+  const auto hosts = topo.hosts();
+  for (const auto pipeline :
+       {IntentPipeline::kCohortSerial, IntentPipeline::kCohortBatched}) {
+    CollectorConfig ccfg;
+    ccfg.pipeline = pipeline;
+    ccfg.intent_ttl = Duration::millis(50);
+    Stack s(topo, ccfg);
+
+    ShuffleIntent intent;
+    intent.job_serial = 0;
+    intent.map_index = 0;
+    intent.reduce_index = 0;
+    intent.src_server = hosts[0];
+    intent.predicted_wire_bytes = Bytes{1'000'000};
+    s.sim.at(SimTime{0}, [&] { s.collector.ingest(intent); });
+    s.sim.at(SimTime{Duration::millis(50).ns()},
+             [&] { s.collector.reducer_located(0, 0, hosts[5]); });
+    s.sim.run();
+
+    EXPECT_EQ(s.collector.intents_expired(), 1u);
+    EXPECT_EQ(s.collector.intents_queued(), 0u);
+    EXPECT_EQ(s.allocator.allocations(), 0u);
+    EXPECT_EQ(s.controller.rules_installed(), 0u);
+  }
+}
+
+TEST(IntentPipeline, JobCompletionPurgesQueuedIntentsBeforeDrain) {
+  // Intents admitted in the same event cohort as the job's completion are
+  // reclaimed before the cohort drains: a dead job installs nothing.
+  const net::Topology topo = fat_tree4();
+  const auto hosts = topo.hosts();
+  CollectorConfig ccfg;
+  ccfg.pipeline = IntentPipeline::kCohortBatched;
+  Stack s(topo, ccfg);
+
+  s.sim.at(SimTime{0}, [&] { s.collector.reducer_located(0, 0, hosts[5]); });
+  for (std::size_t m = 0; m < 3; ++m) {
+    ShuffleIntent intent;
+    intent.job_serial = 0;
+    intent.map_index = m;
+    intent.reduce_index = 0;
+    intent.src_server = hosts[0];
+    intent.predicted_wire_bytes = Bytes{2'000'000};
+    s.sim.at(SimTime{0}, [&s, intent] { s.collector.ingest(intent); });
+  }
+  s.sim.at(SimTime{0}, [&] { s.collector.job_completed(0); });
+  s.sim.run();
+
+  EXPECT_EQ(s.collector.intents_purged_on_completion(), 3u);
+  EXPECT_EQ(s.collector.intents_queued(), 0u);
+  EXPECT_EQ(s.allocator.allocations(), 0u);
+}
+
+TEST(IntentPipeline, AdmissionRefusalAndEvictionBounded) {
+  // pod_queue_capacity = 2: the third, strictly larger intent evicts the
+  // smallest queued one; a later smaller intent is refused synchronously.
+  // Only the surviving two intents' volume reaches the allocator.
+  const net::Topology topo = fat_tree4();
+  const auto hosts = topo.hosts();
+  CollectorConfig ccfg;
+  ccfg.pipeline = IntentPipeline::kCohortBatched;
+  ccfg.pod_queue_capacity = 2;
+  Stack s(topo, ccfg);
+
+  auto ingest_at_zero = [&](std::size_t map_index, std::int64_t bytes) {
+    ShuffleIntent intent;
+    intent.job_serial = 0;
+    intent.map_index = map_index;
+    intent.reduce_index = 0;
+    intent.src_server = hosts[0];
+    intent.predicted_wire_bytes = Bytes{bytes};
+    s.sim.at(SimTime{0}, [&s, intent] { s.collector.ingest(intent); });
+  };
+  s.sim.at(SimTime{0}, [&] { s.collector.reducer_located(0, 0, hosts[5]); });
+  ingest_at_zero(0, 1'000'000);
+  ingest_at_zero(1, 2'000'000);
+  ingest_at_zero(2, 3'000'000);  // evicts the 1 MB intent
+  ingest_at_zero(3, 500'000);    // refused: pod full, not strictly larger
+  s.sim.run();
+
+  EXPECT_EQ(s.collector.admission_evicted(), 1u);
+  EXPECT_EQ(s.collector.admission_refused(), 1u);
+  EXPECT_EQ(s.collector.intents_queued(), 0u);  // cohort drained
+  EXPECT_EQ(s.allocator.pair_outstanding(hosts[0], hosts[5]).count(),
+            5'000'000);
+}
+
+TEST(IntentPipeline, WatchdogFailureRateIsIntentWeighted) {
+  // flow_table_capacity = 1: one large single-intent aggregate takes the
+  // table; a three-intent coalesced aggregate (smaller volume, so no
+  // eviction) is refused. Intent-weighted accounting must see 3 stranded
+  // predictions out of 4 — 0.75 — where per-batch accounting would report
+  // 1 failed install out of 2 events (0.5) and miss the fallback bar.
+  const net::Topology topo = net::make_two_rack({});
+  const auto hosts = topo.hosts();
+  sim::Simulation sim(7);
+  net::Fabric fabric(sim, topo);
+  sdn::ControllerConfig ctcfg;
+  ctcfg.flow_table_capacity = 1;
+  sdn::Controller controller(sim, fabric, topo, ctcfg);
+  Allocator allocator(controller);
+  Collector collector(sim, allocator);  // windowed pipeline: batch coalescing
+  ControlPlaneWatchdog watchdog(sim, controller, allocator);
+
+  collector.reducer_located(0, 0, hosts[5]);
+  collector.reducer_located(0, 1, hosts[6]);
+  auto intent = [&](std::size_t reduce_index, std::size_t map_index,
+                    std::int64_t bytes) {
+    ShuffleIntent i;
+    i.job_serial = 0;
+    i.map_index = map_index;
+    i.reduce_index = reduce_index;
+    i.src_server = hosts[0];
+    i.predicted_wire_bytes = Bytes{bytes};
+    collector.ingest(i);
+  };
+  intent(0, 0, 10'000'000);  // installs; attempt weight 1
+  intent(1, 0, 1'000'000);   // coalesce into one 3-intent aggregate...
+  intent(1, 1, 1'000'000);
+  intent(1, 2, 1'000'000);  // ...refused by the full table: weight 3
+  sim.run();
+
+  EXPECT_EQ(controller.install_attempt_intents(), 1u);
+  EXPECT_EQ(controller.table_reject_intents(), 3u);
+  EXPECT_DOUBLE_EQ(watchdog.recent_install_failure_rate(), 0.75);
+}
+
+}  // namespace
+}  // namespace pythia::core
