@@ -144,6 +144,8 @@ class Allocator {
   [[nodiscard]] net::PathId effective_path(net::PathId chosen);
 
   sdn::Controller* controller_;
+  // pythia-lint: allow(snapshot-skip) config identity covered by the
+  // scenario fingerprint; restore constructs with the same AllocatorConfig.
   AllocatorConfig cfg_;
   std::unordered_map<std::uint64_t, Aggregate> aggregates_;
   std::vector<std::int64_t> link_outstanding_;

@@ -232,6 +232,9 @@ class Collector {
   void submit_run(std::uint32_t src, std::uint32_t dst, std::int64_t sum,
                   std::uint64_t intents);
 
+  // pythia-lint: allow(snapshot-skip, group) wiring and config identity:
+  // pointers are re-connected by the restore factory and cfg_ is covered by
+  // the scenario fingerprint.
   sim::Simulation* sim_;
   Allocator* allocator_;
   ControlPlaneWatchdog* watchdog_ = nullptr;
@@ -250,6 +253,9 @@ class Collector {
 
   /// Cohort pipelines: the sharded admission queues + boundary listener.
   std::unique_ptr<ShardedIntentQueue> shards_;
+  // pythia-lint: allow(snapshot-skip, group) cohort plumbing quiescent at
+  // snapshot cuts: listeners drain at cohort boundaries, and cuts happen at
+  // settled instants. shards_ carries its own encode_state section.
   std::size_t cohort_token_ = 0;
   bool cohort_listener_registered_ = false;
 
@@ -257,6 +263,8 @@ class Collector {
   std::unordered_map<net::NodeId, std::int64_t> dst_outstanding_;
   std::unordered_map<net::NodeId, std::vector<PredictionPoint>> curves_;
   std::unordered_map<net::NodeId, std::int64_t> predicted_totals_;
+  // pythia-lint: allow(snapshot-skip) immutable empty-sentinel returned for
+  // unknown reducers; never written after construction.
   std::vector<PredictionPoint> empty_curve_;
   std::uint64_t received_ = 0;
   std::uint64_t held_ = 0;
@@ -265,6 +273,8 @@ class Collector {
   std::uint64_t purged_on_completion_ = 0;
   std::uint64_t underflows_ = 0;
   std::uint64_t coalesced_saved_ = 0;
+  // pythia-lint: allow(snapshot-skip) pure value object derived from cfg_ at
+  // construction (predict_wire_bytes is const); holds no run state.
   ProtocolOverheadModel retire_model_;
 };
 

@@ -62,6 +62,9 @@ class Instrumentation final : public hadoop::EngineObserver {
   void encode_state(sim::StateEncoder& enc) const;
 
  private:
+  // pythia-lint: allow(snapshot-skip, group) wiring and config identity,
+  // re-connected by the restore factory; channel_ contributes its own
+  // FaultChannel::encode_state section.
   sim::Simulation* sim_;
   Collector* collector_;
   InstrumentationConfig cfg_;

@@ -109,8 +109,12 @@ class ShardedIntentQueue {
   };
   [[nodiscard]] std::size_t shard_for(std::int32_t pod) const;
 
+  // pythia-lint: allow(snapshot-skip) shard-count identity fixed by the
+  // fingerprinted scenario config; restore constructs with the same value.
   Config cfg_;
   std::vector<Shard> shards_;
+  // pythia-lint: allow(snapshot-skip) derived running total of the encoded
+  // per-pod queues; decode recomputes it while re-admitting entries.
   std::size_t size_ = 0;
   std::uint64_t next_admit_seq_ = 0;
   std::uint64_t admitted_ = 0;

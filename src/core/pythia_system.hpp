@@ -73,6 +73,10 @@ class PythiaSystem final : public hadoop::EngineObserver {
   void encode_state(sim::StateEncoder& enc) const;
 
  private:
+  // pythia-lint: allow(snapshot-skip, group) wiring and config identity:
+  // the controller pointer is re-connected and cfg_ re-supplied by the
+  // fingerprinted scenario on restore; the owned subsystems below each
+  // contribute their own encode_state sections.
   sdn::Controller* controller_;
   PythiaConfig cfg_;
   std::unique_ptr<Allocator> allocator_;

@@ -91,6 +91,9 @@ class ControlPlaneWatchdog {
   [[nodiscard]] bool install_failures_excessive() const;
   void refresh_failure_window();
 
+  // pythia-lint: allow(snapshot-skip, group) wiring and config identity:
+  // pointers are re-connected by the restore factory and cfg_ is covered by
+  // the scenario fingerprint.
   sim::Simulation* sim_;
   sdn::Controller* controller_;
   Allocator* allocator_;

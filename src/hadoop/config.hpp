@@ -19,6 +19,9 @@ namespace pythia::hadoop {
 
 struct ClusterConfig {
   /// Hadoop slave servers (host nodes of the network topology).
+  // pythia-lint: allow(fingerprint-skip) filled from the topology builder,
+  // which is itself a pure function of the fingerprinted topology knobs —
+  // it cannot diverge independently of them.
   std::vector<net::NodeId> servers;
   /// Concurrent map / reduce task slots per tasktracker.
   std::size_t map_slots_per_server = 8;

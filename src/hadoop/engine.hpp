@@ -172,6 +172,10 @@ class MapReduceEngine {
                                         util::Xoshiro256& rng) const;
   [[nodiscard]] std::uint16_t next_ephemeral_port();
 
+  // pythia-lint: allow(snapshot-skip, group) wiring and config identity:
+  // pointers are re-connected by the restore factory, and cluster_ is
+  // regenerated from the fingerprinted ScenarioConfig (its derived `servers`
+  // list included).
   sim::Simulation* sim_;
   net::Fabric* fabric_;
   sdn::Controller* controller_;
@@ -189,6 +193,8 @@ class MapReduceEngine {
 
   std::vector<std::unique_ptr<JobState>> jobs_;
   std::size_t jobs_completed_ = 0;
+  // pythia-lint: allow(snapshot-skip) observers re-register themselves when
+  // the owning experiment wires the restored stack back together.
   std::vector<EngineObserver*> observers_;
 };
 

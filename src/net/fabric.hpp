@@ -339,10 +339,15 @@ class Fabric {
   /// observationally equivalent to eager.
   void maybe_flush() const;
 
+  // pythia-lint: allow(snapshot-skip, group) construction wiring and config
+  // identity: restore builds a fresh Fabric from the fingerprinted scenario.
   sim::Simulation* sim_;
   const Topology* topo_;
   FabricConfig cfg_;
 
+  // pythia-lint: allow(snapshot-skip, group) slot bookkeeping rebuilt by
+  // restore replay: encode_state writes the live flows, and re-admitting
+  // them through start_flow() recreates slots, callbacks, and link indexes.
   std::vector<Flow> flows_;                  // slot-indexed; slots recycled
   std::vector<FlowCompleteFn> callbacks_;    // parallel to flows_
   std::vector<std::uint32_t> free_slots_;    // completed slots ready for reuse
@@ -362,10 +367,15 @@ class Fabric {
   std::vector<std::array<double, 4>> class_rate_bps_;  // per link, per class
 
   // Dirty-link accumulator consumed by the next recompute.
+  // pythia-lint: allow(snapshot-skip, group) empty at every snapshot cut:
+  // cuts happen at settled instants, after the pending recompute drained.
   std::vector<std::uint32_t> dirty_links_;
   std::vector<char> link_dirty_;
 
   // Scratch buffers reused across fills (no per-recompute allocation).
+  // pythia-lint: allow(snapshot-skip, group) fill scratch: every recompute
+  // rewrites these before reading them, so restored runs never observe the
+  // pre-snapshot contents.
   std::vector<double> residual_;
   std::vector<double> unfixed_weight_;
   std::vector<std::uint32_t> unfixed_count_;
@@ -401,6 +411,9 @@ class Fabric {
   // rescan per event. (Legacy engines only — kHierarchical keeps per-slot
   // deadlines in arena_eta_ns_ and scans active_ linearly, which is both
   // cheaper at scale and free of heap-garbage bookkeeping.)
+  // pythia-lint: allow(snapshot-skip, group) lazy completion cache: restore
+  // replay re-pushes an entry per re-admitted flow, and stale entries are
+  // skipped by stamp anyway. scheduled_eta_ns_ IS encoded.
   std::vector<EtaEntry> eta_heap_;
   std::vector<std::uint64_t> eta_stamp_;  // slot-indexed
   std::int64_t scheduled_eta_ns_ = -1;
@@ -410,6 +423,9 @@ class Fabric {
   // Flow::spec stays authoritative for the public API. Path rows live in a
   // shared pool so a fill walks contiguous memory instead of per-flow
   // vectors.
+  // pythia-lint: allow(snapshot-skip, group) struct-of-arrays mirror of
+  // Flow::spec (which IS encoded): re-admitting the encoded flows through
+  // start_flow() repopulates every arena row and the path pool.
   bool hier_ = false;
   std::vector<double> arena_weight_;        // slot-indexed
   std::vector<double> arena_rate_bps_;      // slot-indexed
@@ -424,6 +440,9 @@ class Fabric {
   // Locality-group index: link -> group, per-group sorted link lists, and
   // per-group active-flow membership (swap-pop, position tracked in the
   // flow's group row so removal is O(groups on path)).
+  // pythia-lint: allow(snapshot-skip, group) locality-group index derived
+  // from the (fingerprinted) topology at construction plus the re-admitted
+  // flows; epoch marks only dedupe within one closure walk.
   std::size_t num_groups_ = 0;              // locality groups + shared core
   std::vector<std::uint32_t> link_group_;
   std::vector<std::vector<std::uint32_t>> group_links_;
@@ -442,10 +461,17 @@ class Fabric {
   std::vector<std::uint32_t> due_slots_;       // completion scan scratch
 
   // --- cohort coalescing ---
+  // pythia-lint: allow(snapshot-skip, group) cohort plumbing is quiescent at
+  // snapshot cuts (settled instants): no recompute pending, no listener
+  // registered, and the token is only meaningful inside one cohort.
   bool recompute_pending_ = false;
   std::size_t cohort_token_ = 0;
   bool cohort_listener_registered_ = false;
 
+  // pythia-lint: allow(snapshot-skip, group) completion_event_ is
+  // re-scheduled from the encoded scheduled_eta_ns_ during restore, and
+  // observers re-register themselves when the owning system is rebuilt.
+  // last_settle_ IS encoded.
   util::SimTime last_settle_ = util::SimTime::zero();
   sim::EventHandle completion_event_;
   std::vector<FabricObserver*> observers_;

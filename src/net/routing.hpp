@@ -356,6 +356,10 @@ class RoutingGraph {
                 const std::unordered_set<LinkId>& banned,
                 std::vector<std::uint32_t>& dist) const;
 
+  // pythia-lint: allow(snapshot-skip, group) construction-time derivations
+  // of the (fingerprinted) topology: wiring, host maps, reverse adjacency,
+  // and sizes rebuild identically in the restored process. k_ and banned_
+  // ARE encoded.
   const Topology* topo_ = nullptr;
   std::size_t k_ = 0;
   BuildMode build_ = BuildMode::kEager;
@@ -370,6 +374,10 @@ class RoutingGraph {
   // materialize pairs on demand, so these are mutable. Every materialized
   // entry equals the pure per-pair Yen result under the current banned set —
   // query order cannot change what is stored, only when.
+  // pythia-lint: allow(snapshot-skip, group) the touched unions, reverse
+  // index, and materialization flags are re-derived from the encoded pool_
+  // and table_ on restore; by the invariant above their contents are a pure
+  // function of what is stored, never of query order.
   mutable PathPool pool_;
   // Dense table: slot = host_slot(src) * H + host_slot(dst).
   mutable std::vector<std::vector<PathId>> table_;

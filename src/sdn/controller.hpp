@@ -295,6 +295,9 @@ class Controller {
   void refresh_snapshot_if_stale() const;
   void activate_rule(std::uint64_t key, std::uint64_t epoch);
 
+  // pythia-lint: allow(snapshot-skip, group) wiring and config identity,
+  // re-created from the fingerprinted scenario; routing_ snapshots itself
+  // (its own encode_state section) and ecmp_ is a stateless view of it.
   sim::Simulation* sim_;
   net::Fabric* fabric_;
   const net::Topology* topo_;
@@ -352,6 +355,9 @@ class Controller {
   [[nodiscard]] const net::Path* compose_rack_path(net::NodeId src_host,
                                                    net::NodeId dst_host) const;
   std::unordered_map<std::uint64_t, PendingRackRule> rack_rules_;
+  // pythia-lint: allow(snapshot-skip) memoization of compose_rack_path():
+  // every entry is a pure function of the routing graph, so a cold cache
+  // after restore recomputes byte-identical paths.
   mutable std::unordered_map<std::uint64_t, net::Path> rack_path_cache_;
 
   mutable std::vector<double> snapshot_load_bps_;

@@ -85,6 +85,9 @@ class FaultChannel {
   [[nodiscard]] util::Duration sample_delay();
   void schedule_delivery(std::function<void()> deliver);
 
+  // pythia-lint: allow(snapshot-skip, group) sim_ is restore-factory wiring
+  // and cfg_ is covered by the scenario fingerprint (stream_, the RNG lane
+  // name, IS encoded).
   Simulation* sim_;
   std::string stream_;
   FaultChannelConfig cfg_;

@@ -141,6 +141,10 @@ std::vector<std::uint8_t> Snapshot::serialize() const {
   return out;
 }
 
+// pythia-lint: allow(stream-symmetry) deliberately asymmetric framing: the
+// magic is written via the byte vector but verified here with get_u8, and
+// the checksum is read out-of-band after the body; sections themselves are
+// length-framed, not stream-mirrored.
 Snapshot Snapshot::deserialize(const std::vector<std::uint8_t>& bytes) {
   if (bytes.size() < sizeof(kMagic) + 12 + 8 ||
       !std::equal(kMagic, kMagic + sizeof(kMagic), bytes.begin())) {

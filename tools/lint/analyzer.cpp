@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "lexer.hpp"
+#include "semantics.hpp"
 
 namespace pythia::lint {
 
@@ -17,21 +18,27 @@ struct LexedFile {
   std::vector<Token> code;  // comments/preproc stripped: what rules match on
 };
 
-// A parsed `pythia-lint: allow(<rule>) <justification>` annotation.
+// A parsed `pythia-lint: allow(<rule>[, group]) <justification>` annotation.
+// A plain annotation suppresses findings on one line; a `group` annotation
+// suppresses findings of its rule on every line of the contiguous
+// declaration block below it (until the first blank line).
 struct Annotation {
   std::string file;
-  int line = 0;          // line of the comment itself
+  int line = 0;           // line of the comment itself
   int col = 0;
   std::string rule;
   std::string justification;
-  int applies_line = 0;  // line whose findings this annotation suppresses
-  bool valid = false;    // parsed and names a known rule with justification
+  int applies_begin = 0;  // first line whose findings this suppresses
+  int applies_end = 0;    // last line (inclusive)
+  bool group = false;
+  bool valid = false;     // parsed and names a known rule with justification
   bool used = false;
 };
 
 [[nodiscard]] bool is_known_rule(const std::string& r) {
   return r == kRuleUnorderedIter || r == kRuleWallClock ||
-         r == kRulePointerOrder;
+         r == kRulePointerOrder || r == kRuleSnapshotSkip ||
+         r == kRuleStreamSymmetry || r == kRuleFingerprintSkip;
 }
 
 [[nodiscard]] const Token* tok_at(const std::vector<Token>& toks,
@@ -411,6 +418,29 @@ std::vector<Annotation> collect_annotations(const LexedFile& lf,
       continue;
     }
     a.rule = text.substr(p, q - p);
+    // Optional modifier: allow(<rule>, group).
+    const std::size_t comma = a.rule.find(',');
+    if (comma != std::string::npos) {
+      std::string mod = a.rule.substr(comma + 1);
+      a.rule = a.rule.substr(0, comma);
+      while (!mod.empty() && (mod.front() == ' ' || mod.front() == '\t')) {
+        mod.erase(mod.begin());
+      }
+      while (!a.rule.empty() &&
+             (a.rule.back() == ' ' || a.rule.back() == '\t')) {
+        a.rule.pop_back();
+      }
+      if (mod == "group") {
+        a.group = true;
+      } else {
+        out.push_back(Finding{
+            a.file, a.line, a.col, kRuleBadSuppression,
+            "unknown annotation modifier '" + mod + "'",
+            "the only modifier is 'group': // pythia-lint: allow(" + a.rule +
+                ", group) <why>"});
+        continue;
+      }
+    }
     std::string just = text.substr(q + 1);
     if (just.size() >= 2 && just.substr(just.size() - 2) == "*/") {
       just = just.substr(0, just.size() - 2);
@@ -427,7 +457,8 @@ std::vector<Annotation> collect_annotations(const LexedFile& lf,
       out.push_back(Finding{
           a.file, a.line, a.col, kRuleBadSuppression,
           "annotation names unknown rule '" + a.rule + "'",
-          "known rules: unordered-iter, wall-clock, pointer-order"});
+          "known rules: unordered-iter, wall-clock, pointer-order, "
+          "snapshot-skip, stream-symmetry, fingerprint-skip"});
       continue;
     }
     if (a.justification.empty()) {
@@ -449,13 +480,39 @@ std::vector<Annotation> collect_annotations(const LexedFile& lf,
         break;
       }
     }
-    a.applies_line = a.line;
+    a.applies_begin = a.line;
     if (standalone) {
       for (std::size_t j = i + 1; j < all.size(); ++j) {
         if (all[j].kind == TokKind::kComment) continue;
-        a.applies_line = all[j].line;
+        a.applies_begin = all[j].line;
         break;
       }
+    }
+    a.applies_end = a.applies_begin;
+    if (a.group) {
+      // A group annotation covers the contiguous declaration block below it:
+      // every line from the first covered line down to (but excluding) the
+      // first blank line of the raw source.
+      const std::string& text = lf.src->text;
+      int lineno = 1;
+      bool blank = true;
+      int last_nonblank = a.applies_begin;
+      for (std::size_t c = 0; c <= text.size(); ++c) {
+        const bool eol = c == text.size() || text[c] == '\n';
+        if (eol) {
+          if (lineno >= a.applies_begin) {
+            if (blank) break;
+            last_nonblank = lineno;
+          }
+          ++lineno;
+          blank = true;
+          continue;
+        }
+        if (text[c] != ' ' && text[c] != '\t' && text[c] != '\r') {
+          blank = false;
+        }
+      }
+      a.applies_end = last_nonblank;
     }
     a.valid = true;
     anns.push_back(a);
@@ -492,48 +549,67 @@ std::vector<Finding> analyze(const std::vector<SourceFile>& files,
   for (const LexedFile& lf : lexed) collect_names(lf, names);
 
   std::vector<Finding> findings;
+  std::vector<Annotation> anns;
   for (const LexedFile& lf : lexed) {
     const std::string& path = lf.src->path;
     const bool deterministic = path_in(path, cfg.deterministic_scopes);
     const bool clock_allowed = path_in(path, cfg.wall_clock_allow);
 
-    std::vector<Finding> file_findings;
     if (deterministic) {
-      check_range_for(lf, names, file_findings);
-      check_iterator_loops(lf, names, file_findings);
-      check_pointer_keys(lf, file_findings);
-      check_pointer_sort(lf, names, file_findings);
+      check_range_for(lf, names, findings);
+      check_iterator_loops(lf, names, findings);
+      check_pointer_keys(lf, findings);
+      check_pointer_sort(lf, names, findings);
     }
     if (!clock_allowed) {
-      check_wall_clock(lf, file_findings);
+      check_wall_clock(lf, findings);
     }
 
-    std::vector<Annotation> anns = collect_annotations(lf, file_findings);
-
-    // Apply suppressions, then report the stale ones (R5).
-    std::vector<Finding> kept;
-    for (Finding& f : file_findings) {
-      bool suppressed = false;
-      for (Annotation& a : anns) {
-        if (a.valid && a.rule == f.rule && a.applies_line == f.line) {
-          a.used = true;
-          suppressed = true;
-        }
-      }
-      if (!suppressed) kept.push_back(std::move(f));
-    }
-    for (const Annotation& a : anns) {
-      if (a.valid && !a.used) {
-        kept.push_back(Finding{
-            a.file, a.line, a.col, kRuleStaleSuppression,
-            "allow(" + a.rule +
-                ") annotation suppresses nothing; the pattern it excused is "
-                "gone (or the annotation sits on the wrong line)",
-            "delete the annotation, or move it onto the flagged statement"});
-      }
-    }
-    findings.insert(findings.end(), kept.begin(), kept.end());
+    std::vector<Annotation> file_anns = collect_annotations(lf, findings);
+    anns.insert(anns.end(), file_anns.begin(), file_anns.end());
   }
+
+  // Semantic passes (R6-R8). The model spans every file in the snapshot
+  // scope at once: member tables usually live in headers while the encode
+  // bodies that cover them live in the matching .cpp.
+  if (!cfg.snapshot_scopes.empty()) {
+    SemanticModel model;
+    std::set<std::string> extra(cfg.fingerprint_functions.begin(),
+                                cfg.fingerprint_functions.end());
+    for (const LexedFile& lf : lexed) {
+      if (!path_in(lf.src->path, cfg.snapshot_scopes)) continue;
+      parse_semantics(lf.src->path, lf.code, extra, model);
+    }
+    check_snapshot_coverage(model, findings);
+    check_stream_symmetry(model, findings);
+    check_fingerprint_coverage(model, cfg, findings);
+  }
+
+  // Apply suppressions globally (semantic findings anchor in headers whose
+  // annotations were collected in the same pass), then report stale ones.
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    bool suppressed = false;
+    for (Annotation& a : anns) {
+      if (a.valid && a.rule == f.rule && a.file == f.file &&
+          f.line >= a.applies_begin && f.line <= a.applies_end) {
+        a.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(f));
+  }
+  for (const Annotation& a : anns) {
+    if (a.valid && !a.used) {
+      kept.push_back(Finding{
+          a.file, a.line, a.col, kRuleStaleSuppression,
+          "allow(" + a.rule +
+              ") annotation suppresses nothing; the pattern it excused is "
+              "gone (or the annotation sits on the wrong line)",
+          "delete the annotation, or move it onto the flagged statement"});
+    }
+  }
+  findings = std::move(kept);
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
@@ -550,6 +626,12 @@ std::string format_finding(const Finding& f, bool fix_suggestions) {
                     std::to_string(f.col) + ": " + f.rule + ": " + f.message;
   if (fix_suggestions && !f.suggestion.empty()) {
     out += "\n  suggestion: " + f.suggestion;
+  }
+  if (fix_suggestions && is_known_rule(f.rule)) {
+    // The exact line to paste above the flagged declaration/statement once
+    // the skip is genuinely justified.
+    out += "\n  annotation: // pythia-lint: allow(" + f.rule +
+           ") <why this is safe>";
   }
   return out;
 }

@@ -17,9 +17,24 @@
 //                         annotation must name a known rule, carry a
 //                         justification, and suppress at least one finding
 //                         (otherwise it is reported as stale).
+//   R6 snapshot-skip    — every non-static data member of a type defining
+//                         encode_state must be referenced in its encode
+//                         bodies (see semantics.hpp).
+//   R7 stream-symmetry  — paired encode/decode bodies must move the same
+//                         ordered sequence of stream widths.
+//   R8 fingerprint-skip — every config-struct member reachable from the
+//                         configured fingerprint roots must enter the
+//                         fingerprint computation.
 //
 // R4 (header self-containment) is not a token rule; it is implemented by
 // --emit-header-tus in main.cpp plus the check_headers CMake target.
+// R6-R8 are semantic passes over parsed member tables and indexed
+// encode/decode/fingerprint bodies (semantics.{hpp,cpp}); they run on files
+// inside the configured snapshot scope. Their annotations accept an optional
+// `group` modifier — `// pythia-lint: allow(<rule>, group) <why>` — that
+// covers the contiguous declaration block below it (until the first blank
+// line), so a run of scratch members needs one justification, not one per
+// line.
 //
 // Analysis is a whole-program token pass: container/alias/function names are
 // collected across every scanned file first (so a member declared in a
@@ -56,6 +71,9 @@ inline constexpr const char* kRuleWallClock = "wall-clock";
 inline constexpr const char* kRulePointerOrder = "pointer-order";
 inline constexpr const char* kRuleBadSuppression = "bad-suppression";
 inline constexpr const char* kRuleStaleSuppression = "stale-suppression";
+inline constexpr const char* kRuleSnapshotSkip = "snapshot-skip";
+inline constexpr const char* kRuleStreamSymmetry = "stream-symmetry";
+inline constexpr const char* kRuleFingerprintSkip = "fingerprint-skip";
 
 /// Runs all token rules over `files`. Findings are sorted by
 /// (file, line, col, rule) so output is deterministic.

@@ -1,0 +1,78 @@
+# Mutation test for R6 (snapshot-skip).
+#
+# Proves the lint gate actually guards the snapshot contract: copy a real
+# snapshotted class (ControlPlaneWatchdog) into a scratch tree, verify the
+# unmodified copy lints clean, then delete one encode_state line and assert
+# pythia-lint exits non-zero. If a future refactor quietly weakens R6, this
+# test — not a divergence hours into a sweep — goes red.
+#
+# Invoked by ctest as:
+#   cmake -DLINT_BIN=<pythia-lint> -DSRC_ROOT=<repo> -DWORK_DIR=<scratch>
+#         -P check_mutation.cmake
+
+foreach(var LINT_BIN SRC_ROOT WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_mutation.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/src/core")
+configure_file("${SRC_ROOT}/src/core/watchdog.hpp"
+               "${WORK_DIR}/src/core/watchdog.hpp" COPYONLY)
+configure_file("${SRC_ROOT}/src/core/watchdog.cpp"
+               "${WORK_DIR}/src/core/watchdog.cpp" COPYONLY)
+file(WRITE "${WORK_DIR}/pythia_lint.toml" "
+[scopes]
+scan = [\"src\"]
+deterministic = [\"src\"]
+snapshot = [\"src\"]
+")
+
+# Step 1: the pristine copy must be clean — otherwise the mutation below
+# would prove nothing.
+execute_process(
+  COMMAND "${LINT_BIN}"
+    --config "${WORK_DIR}/pythia_lint.toml" --root "${WORK_DIR}"
+  RESULT_VARIABLE clean_rc
+  OUTPUT_VARIABLE clean_out
+  ERROR_VARIABLE clean_err)
+if(NOT clean_rc EQUAL 0)
+  message(FATAL_ERROR
+    "pristine watchdog copy should lint clean but exited ${clean_rc}:\n"
+    "${clean_out}${clean_err}")
+endif()
+
+# Step 2: delete the encode line for fallbacks_ and expect a red run.
+set(mutation "enc.put_u64(fallbacks_);")
+file(READ "${WORK_DIR}/src/core/watchdog.cpp" body)
+string(FIND "${body}" "${mutation}" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR
+    "mutation target '${mutation}' not found in watchdog.cpp; "
+    "update check_mutation.cmake alongside the encode body")
+endif()
+string(REPLACE "${mutation}" "" body "${body}")
+file(WRITE "${WORK_DIR}/src/core/watchdog.cpp" "${body}")
+
+execute_process(
+  COMMAND "${LINT_BIN}"
+    --config "${WORK_DIR}/pythia_lint.toml" --root "${WORK_DIR}"
+  RESULT_VARIABLE mutated_rc
+  OUTPUT_VARIABLE mutated_out
+  ERROR_VARIABLE mutated_err)
+if(mutated_rc EQUAL 0)
+  message(FATAL_ERROR
+    "deleted '${mutation}' but pythia-lint still exited 0 — R6 snapshot "
+    "coverage is not guarding the encode body")
+endif()
+string(FIND "${mutated_out}" "snapshot-skip" has_rule)
+if(has_rule EQUAL -1)
+  message(FATAL_ERROR
+    "mutated run failed but not with a snapshot-skip diagnostic:\n"
+    "${mutated_out}${mutated_err}")
+endif()
+
+message(STATUS
+  "mutation detected: deleting '${mutation}' produced a snapshot-skip "
+  "finding (exit ${mutated_rc})")

@@ -107,8 +107,14 @@ std::optional<Config> parse_config(const std::string& text,
       target = &cfg.deterministic_scopes;
     } else if (qualified == "scopes.skip") {
       target = &cfg.skip_paths;
+    } else if (qualified == "scopes.snapshot") {
+      target = &cfg.snapshot_scopes;
     } else if (qualified == "rule.wall-clock.allow") {
       target = &cfg.wall_clock_allow;
+    } else if (qualified == "rule.fingerprint.roots") {
+      target = &cfg.fingerprint_roots;
+    } else if (qualified == "rule.fingerprint.functions") {
+      target = &cfg.fingerprint_functions;
     } else if (qualified == "headers.roots") {
       target = &cfg.header_roots;
     } else {

@@ -28,6 +28,20 @@ struct Config {
   // Directories walked for headers by --emit-header-tus (R4).
   std::vector<std::string> header_roots = {"src"};
 
+  // Path prefixes forming the snapshot scope: the semantic passes (R6
+  // snapshot-skip, R7 stream-symmetry, R8 fingerprint-skip) parse member
+  // tables and encode/decode bodies only here. Empty disables them.
+  std::vector<std::string> snapshot_scopes;
+
+  // Root type names for R8 reachability (e.g. ScenarioConfig): every member
+  // of every config struct transitively reachable from these must enter the
+  // fingerprint computation.
+  std::vector<std::string> fingerprint_roots;
+
+  // Function names whose bodies constitute "the fingerprint computation"
+  // for R8 (e.g. scenario_fingerprint, encode_scenario_config).
+  std::vector<std::string> fingerprint_functions;
+
   // Path prefixes excluded from scanning entirely (generated code, vendored
   // sources).
   std::vector<std::string> skip_paths;

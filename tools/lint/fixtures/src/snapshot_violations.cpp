@@ -1,0 +1,65 @@
+// Deliberately broken snapshot/fingerprint code: one injected violation per
+// semantic rule (R6/R7/R8) plus a stale snapshot-skip annotation. This file
+// is never compiled — it exists so the lint_fixture_violations ctest can
+// assert that pythia-lint exits non-zero when the snapshot contract is
+// broken. Keep each violation on its own line; tests grep for the rule
+// names in the diagnostics.
+
+struct StateEncoder;
+struct StateDecoder;
+
+// R6: encode_state forgets a data member.
+class LossyBuffer {
+ public:
+  void encode_state(StateEncoder& enc) const;
+
+ private:
+  // R5: stale snapshot-skip — accepted_ IS encoded, nothing is suppressed.
+  // pythia-lint: allow(snapshot-skip) pretend this member is a cache
+  unsigned long long accepted_ = 0;
+  unsigned long long dropped_ = 0;  // never encoded: R6 fires here
+};
+
+void LossyBuffer::encode_state(StateEncoder& enc) const {
+  (void)enc;  // put_u64(accepted_) elided; only the reference matters
+  static_cast<void>(accepted_);
+}
+
+// R7: decode stream disagrees with its encode counterpart on width.
+class WireCodec {
+ public:
+  void encode_header(StateEncoder& enc) const;
+  void decode_header(StateDecoder& dec);
+
+ private:
+  unsigned magic_ = 0;
+  unsigned long long seq_ = 0;
+};
+
+void WireCodec::encode_header(StateEncoder& enc) const {
+  enc.put_u32(magic_);
+  enc.put_u64(seq_);
+}
+
+void WireCodec::decode_header(StateDecoder& dec) {
+  magic_ = dec.get_u64();  // written as u32: every later field corrupts
+  seq_ = dec.get_u64();
+}
+
+// R8: a config member reachable from the fixture fingerprint root never
+// enters the fingerprint computation.
+struct FixtureTuning {
+  double gain = 1.0;
+  double untracked_knob = 0.0;  // not fingerprinted: R8 fires here
+};
+
+struct FixtureConfig {
+  unsigned seed = 0;
+  FixtureTuning tuning;
+};
+
+unsigned long long fixture_fingerprint(const FixtureConfig& cfg) {
+  unsigned long long h = cfg.seed;
+  h = h * 31 + static_cast<unsigned long long>(cfg.tuning.gain * 1000.0);
+  return h;
+}

@@ -337,6 +337,370 @@ TEST(R5Suppressions, WrongRuleAnnotationIsStaleAndFindingSurvives) {
   EXPECT_EQ(count_rule(fs, kRuleStaleSuppression), 1);
 }
 
+// ------------------------------------------- R6: snapshot coverage -------
+
+Config snapshot_config() {
+  Config cfg = test_config();
+  cfg.snapshot_scopes = {"src"};
+  return cfg;
+}
+
+std::vector<Finding> run_snap(const std::vector<SourceFile>& files) {
+  return analyze(files, snapshot_config());
+}
+
+TEST(R6SnapshotCoverage, FlagsMemberMissingFromEncodeBody) {
+  const auto fs = run_snap({
+      SourceFile{"src/s.hpp",
+                 "struct Enc;\n"
+                 "class Counter {\n"
+                 " public:\n"
+                 "  void encode_state(Enc& e) const;\n"
+                 " private:\n"
+                 "  unsigned long long hits_ = 0;\n"
+                 "  unsigned long long misses_ = 0;\n"
+                 "};\n"},
+      SourceFile{"src/s.cpp",
+                 "void Counter::encode_state(Enc& e) const {\n"
+                 "  e.put_u64(hits_);\n"
+                 "}\n"},
+  });
+  ASSERT_EQ(count_rule(fs, kRuleSnapshotSkip), 1);
+  EXPECT_EQ(fs[0].file, "src/s.hpp");
+  EXPECT_EQ(fs[0].line, 7);
+  EXPECT_NE(fs[0].message.find("misses_"), std::string::npos);
+}
+
+TEST(R6SnapshotCoverage, FullyEncodedTypeIsClean) {
+  const auto fs = run_snap({
+      SourceFile{"src/s.hpp",
+                 "struct Enc;\n"
+                 "class Counter {\n"
+                 "  void encode_state(Enc& e) const;\n"
+                 "  unsigned long long hits_ = 0;\n"
+                 "  unsigned long long misses_ = 0;\n"
+                 "};\n"},
+      SourceFile{"src/s.cpp",
+                 "void Counter::encode_state(Enc& e) const {\n"
+                 "  e.put_u64(hits_);\n"
+                 "  e.put_u64(misses_);\n"
+                 "}\n"},
+  });
+  EXPECT_EQ(count_rule(fs, kRuleSnapshotSkip), 0);
+}
+
+TEST(R6SnapshotCoverage, EncodeBehaviorCountsAsCoverage) {
+  const auto fs = run_snap({SourceFile{
+      "src/s.hpp",
+      "struct Enc;\n"
+      "class Counter {\n"
+      "  void encode_state(Enc& e) const { e.put_u64(hits_); }\n"
+      "  void encode_behavior(Enc& e) const { e.put_u64(misses_); }\n"
+      "  unsigned long long hits_ = 0;\n"
+      "  unsigned long long misses_ = 0;\n"
+      "};\n"}});
+  EXPECT_EQ(count_rule(fs, kRuleSnapshotSkip), 0);
+}
+
+TEST(R6SnapshotCoverage, StaticMembersAndTypesWithoutEncodeAreExempt) {
+  const auto fs = run_snap({SourceFile{
+      "src/s.hpp",
+      "struct Enc;\n"
+      "class Covered {\n"
+      "  void encode_state(Enc& e) const { e.put_u64(x_); }\n"
+      "  unsigned long long x_ = 0;\n"
+      "  static constexpr int kTableSize = 64;\n"
+      "};\n"
+      "class NoSnapshotContract {\n"
+      "  int anything_ = 0;\n"
+      "};\n"}});
+  EXPECT_EQ(count_rule(fs, kRuleSnapshotSkip), 0);
+}
+
+TEST(R6SnapshotCoverage, DisabledWithoutSnapshotScope) {
+  const auto fs = run_one(  // test_config(): snapshot_scopes is empty
+      "src/s.hpp",
+      "struct Enc;\n"
+      "class Counter {\n"
+      "  void encode_state(Enc& e) const { (void)e; }\n"
+      "  unsigned long long never_encoded_ = 0;\n"
+      "};\n");
+  EXPECT_EQ(count_rule(fs, kRuleSnapshotSkip), 0);
+}
+
+TEST(R6SnapshotCoverage, TrailingAnnotationSuppresses) {
+  const auto fs = run_snap({SourceFile{
+      "src/s.hpp",
+      "struct Enc;\n"
+      "class Counter {\n"
+      "  void encode_state(Enc& e) const { (void)e; }\n"
+      "  int* arena_ = nullptr;  "
+      "// pythia-lint: allow(snapshot-skip) rebuilt by restore replay\n"
+      "};\n"}});
+  EXPECT_EQ(count_rule(fs, kRuleSnapshotSkip), 0);
+  EXPECT_EQ(count_rule(fs, kRuleStaleSuppression), 0);
+}
+
+TEST(R6SnapshotCoverage, StaleSnapshotSkipIsReported) {
+  const auto fs = run_snap({SourceFile{
+      "src/s.hpp",
+      "struct Enc;\n"
+      "class Counter {\n"
+      "  void encode_state(Enc& e) const { e.put_u64(hits_); }\n"
+      "  // pythia-lint: allow(snapshot-skip) it is actually encoded\n"
+      "  unsigned long long hits_ = 0;\n"
+      "};\n"}});
+  EXPECT_EQ(count_rule(fs, kRuleSnapshotSkip), 0);
+  EXPECT_EQ(count_rule(fs, kRuleStaleSuppression), 1);
+}
+
+TEST(R6SnapshotCoverage, GroupAnnotationCoversBlockUntilBlankLine) {
+  const auto fs = run_snap({SourceFile{
+      "src/s.hpp",
+      "struct Enc;\n"
+      "class Counter {\n"
+      "  void encode_state(Enc& e) const { (void)e; }\n"
+      "\n"
+      "  // pythia-lint: allow(snapshot-skip, group) scratch, rebuilt on use\n"
+      "  int scratch_a_ = 0;\n"
+      "  int scratch_b_ = 0;\n"
+      "\n"
+      "  unsigned long long real_state_ = 0;\n"
+      "};\n"}});
+  ASSERT_EQ(count_rule(fs, kRuleSnapshotSkip), 1);
+  EXPECT_EQ(count_rule(fs, kRuleStaleSuppression), 0);
+  const auto it = std::find_if(fs.begin(), fs.end(), [](const Finding& f) {
+    return f.rule == kRuleSnapshotSkip;
+  });
+  EXPECT_NE(it->message.find("real_state_"), std::string::npos);
+}
+
+TEST(R6SnapshotCoverage, UnusedGroupAnnotationIsStale) {
+  const auto fs = run_snap({SourceFile{
+      "src/s.hpp",
+      "struct Enc;\n"
+      "class Counter {\n"
+      "  void encode_state(Enc& e) const { e.put_u64(x_); }\n"
+      "\n"
+      "  // pythia-lint: allow(snapshot-skip, group) nothing is skipped\n"
+      "  unsigned long long x_ = 0;\n"
+      "};\n"}});
+  EXPECT_EQ(count_rule(fs, kRuleStaleSuppression), 1);
+}
+
+TEST(R6SnapshotCoverage, UnknownModifierIsBadSuppression) {
+  const auto fs = run_snap({SourceFile{
+      "src/s.hpp",
+      "// pythia-lint: allow(snapshot-skip, file) no such modifier\n"
+      "int x = 0;\n"}});
+  EXPECT_EQ(count_rule(fs, kRuleBadSuppression), 1);
+}
+
+// ------------------------------------------- R7: stream symmetry ---------
+
+TEST(R7StreamSymmetry, FlagsWidthMismatch) {
+  const auto fs = run_snap({SourceFile{
+      "src/c.cpp",
+      "struct Enc;\n"
+      "struct Dec;\n"
+      "struct Pair {\n"
+      "  void encode_hdr(Enc& e) const;\n"
+      "  void decode_hdr(Dec& d);\n"
+      "  unsigned a_ = 0;\n"
+      "  unsigned long long b_ = 0;\n"
+      "};\n"
+      "void Pair::encode_hdr(Enc& e) const {\n"
+      "  e.put_u32(a_);\n"
+      "  e.put_u64(b_);\n"
+      "}\n"
+      "void Pair::decode_hdr(Dec& d) {\n"
+      "  a_ = d.get_u64();\n"
+      "  b_ = d.get_u64();\n"
+      "}\n"}});
+  ASSERT_EQ(count_rule(fs, kRuleStreamSymmetry), 1);
+  EXPECT_EQ(fs[0].line, 13);  // anchored at the decode definition
+  EXPECT_NE(fs[0].message.find("position 1"), std::string::npos);
+}
+
+TEST(R7StreamSymmetry, FlagsLengthMismatch) {
+  const auto fs = run_snap({SourceFile{
+      "src/c.cpp",
+      "struct Enc;\n"
+      "struct Dec;\n"
+      "struct Pair {\n"
+      "  void encode_hdr(Enc& e) const { e.put_u32(a_); e.put_u64(b_); }\n"
+      "  void decode_hdr(Dec& d) { a_ = d.get_u32(); }\n"
+      "  unsigned a_ = 0;\n"
+      "  unsigned long long b_ = 0;\n"
+      "};\n"}});
+  ASSERT_EQ(count_rule(fs, kRuleStreamSymmetry), 1);
+  EXPECT_NE(fs[0].message.find("reads 1 values but"), std::string::npos);
+}
+
+TEST(R7StreamSymmetry, MatchingStreamsAreClean) {
+  const auto fs = run_snap({SourceFile{
+      "src/c.cpp",
+      "struct Enc;\n"
+      "struct Dec;\n"
+      "struct Pair {\n"
+      "  void encode_hdr(Enc& e) const {\n"
+      "    e.put_u32(a_);\n"
+      "    e.put_bool(flag_);\n"
+      "    e.put_time(when_);\n"
+      "    e.put_string(name_);\n"
+      "  }\n"
+      "  void decode_hdr(Dec& d) {\n"
+      "    a_ = d.get_u32();\n"
+      "    flag_ = d.get_bool();\n"
+      "    when_ = d.get_time();\n"
+      "    name_ = d.get_string();\n"
+      "  }\n"
+      "};\n"}});
+  EXPECT_EQ(count_rule(fs, kRuleStreamSymmetry), 0);
+}
+
+TEST(R7StreamSymmetry, WidthEquivalentKindsMatch) {
+  // bool rides u8; time/duration/i64/f64 all ride u64 — pairing by wire
+  // width, not by spelling.
+  const auto fs = run_snap({SourceFile{
+      "src/c.cpp",
+      "struct Enc;\n"
+      "struct Dec;\n"
+      "struct Pair {\n"
+      "  void encode_hdr(Enc& e) const { e.put_time(t_); e.put_bool(b_); }\n"
+      "  void decode_hdr(Dec& d) { t_ = d.get_u64(); b_ = d.get_u8(); }\n"
+      "};\n"}});
+  EXPECT_EQ(count_rule(fs, kRuleStreamSymmetry), 0);
+}
+
+TEST(R7StreamSymmetry, UnpairedEncodeIsClean) {
+  const auto fs = run_snap({SourceFile{
+      "src/c.cpp",
+      "struct Enc;\n"
+      "struct Solo {\n"
+      "  void encode_state(Enc& e) const { e.put_u64(x_); }\n"
+      "  unsigned long long x_ = 0;\n"
+      "};\n"}});
+  EXPECT_EQ(count_rule(fs, kRuleStreamSymmetry), 0);
+}
+
+TEST(R7StreamSymmetry, AnnotationOnDecodeDefinitionSuppresses) {
+  const auto fs = run_snap({SourceFile{
+      "src/c.cpp",
+      "struct Enc;\n"
+      "struct Dec;\n"
+      "struct Pair {\n"
+      "  void encode_hdr(Enc& e) const { e.put_u32(a_); }\n"
+      "  // pythia-lint: allow(stream-symmetry) framing reads the magic "
+      "bytewise\n"
+      "  void decode_hdr(Dec& d) { a_ = d.get_u8(); }\n"
+      "};\n"}});
+  EXPECT_EQ(count_rule(fs, kRuleStreamSymmetry), 0);
+  EXPECT_EQ(count_rule(fs, kRuleStaleSuppression), 0);
+}
+
+// ------------------------------------------- R8: fingerprint coverage ----
+
+Config fingerprint_config() {
+  Config cfg = snapshot_config();
+  cfg.fingerprint_roots = {"RootCfg"};
+  cfg.fingerprint_functions = {"fp"};
+  return cfg;
+}
+
+TEST(R8FingerprintCoverage, FlagsReachableUnfingerprintedMember) {
+  const auto fs = analyze(
+      {SourceFile{"src/f.cpp",
+                  "struct SubCfg {\n"
+                  "  int depth = 0;\n"
+                  "  int untracked = 0;\n"
+                  "};\n"
+                  "struct RootCfg {\n"
+                  "  int seed = 0;\n"
+                  "  SubCfg sub;\n"
+                  "};\n"
+                  "unsigned fp(const RootCfg& c) {\n"
+                  "  return c.seed + c.sub.depth;\n"
+                  "}\n"}},
+      fingerprint_config());
+  ASSERT_EQ(count_rule(fs, kRuleFingerprintSkip), 1);
+  EXPECT_EQ(fs[0].line, 3);
+  EXPECT_NE(fs[0].message.find("untracked"), std::string::npos);
+}
+
+TEST(R8FingerprintCoverage, FullyFingerprintedTreeIsClean) {
+  const auto fs = analyze(
+      {SourceFile{"src/f.cpp",
+                  "struct SubCfg { int depth = 0; };\n"
+                  "struct RootCfg { int seed = 0; SubCfg sub; };\n"
+                  "unsigned fp(const RootCfg& c) {\n"
+                  "  return c.seed + c.sub.depth;\n"
+                  "}\n"}},
+      fingerprint_config());
+  EXPECT_EQ(count_rule(fs, kRuleFingerprintSkip), 0);
+}
+
+TEST(R8FingerprintCoverage, UnreachableTypeIsNotChecked) {
+  const auto fs = analyze(
+      {SourceFile{"src/f.cpp",
+                  "struct Unrelated { int whatever = 0; };\n"
+                  "struct RootCfg { int seed = 0; };\n"
+                  "unsigned fp(const RootCfg& c) { return c.seed; }\n"}},
+      fingerprint_config());
+  EXPECT_EQ(count_rule(fs, kRuleFingerprintSkip), 0);
+}
+
+TEST(R8FingerprintCoverage, InertWithoutFingerprintFunctionInModel) {
+  const auto fs = analyze(
+      {SourceFile{"src/f.cpp",
+                  "struct RootCfg { int seed = 0; };\n"}},
+      fingerprint_config());
+  EXPECT_EQ(count_rule(fs, kRuleFingerprintSkip), 0);
+}
+
+TEST(R8FingerprintCoverage, ReachesThroughTemplateArguments) {
+  const auto fs = analyze(
+      {SourceFile{"src/f.cpp",
+                  "struct SubCfg { int hidden = 0; };\n"
+                  "struct RootCfg {\n"
+                  "  int seed = 0;\n"
+                  "  std::vector<SubCfg> subs;\n"
+                  "};\n"
+                  "unsigned fp(const RootCfg& c) {\n"
+                  "  return c.seed + c.subs.size();\n"
+                  "}\n"}},
+      fingerprint_config());
+  ASSERT_EQ(count_rule(fs, kRuleFingerprintSkip), 1);
+  EXPECT_NE(fs[0].message.find("hidden"), std::string::npos);
+}
+
+TEST(R8FingerprintCoverage, AnnotationSuppresses) {
+  const auto fs = analyze(
+      {SourceFile{"src/f.cpp",
+                  "struct RootCfg {\n"
+                  "  int seed = 0;\n"
+                  "  int derived = 0;  "
+                  "// pythia-lint: allow(fingerprint-skip) filled from seed\n"
+                  "};\n"
+                  "unsigned fp(const RootCfg& c) { return c.seed; }\n"}},
+      fingerprint_config());
+  EXPECT_EQ(count_rule(fs, kRuleFingerprintSkip), 0);
+  EXPECT_EQ(count_rule(fs, kRuleStaleSuppression), 0);
+}
+
+TEST(ConfigParse, SnapshotAndFingerprintKeysRoundTrip) {
+  std::string err;
+  const auto cfg = parse_config(
+      "[scopes]\nsnapshot = [\"src/sim\", \"src/core\"]\n"
+      "[rule.fingerprint]\nroots = [\"ScenarioConfig\"]\n"
+      "functions = [\"scenario_fingerprint\", \"encode_scenario_config\"]\n",
+      err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  EXPECT_EQ(cfg->snapshot_scopes.size(), 2u);
+  EXPECT_EQ(cfg->fingerprint_roots.size(), 1u);
+  EXPECT_EQ(cfg->fingerprint_functions.size(), 2u);
+}
+
 // ------------------------------------------------------ output format ----
 
 TEST(Output, ClangStyleAndDeterministicOrder) {
@@ -355,6 +719,9 @@ TEST(Output, ClangStyleAndDeterministicOrder) {
   EXPECT_NE(line.find(" wall-clock: "), std::string::npos);
   const std::string with_fix = format_finding(fs[0], true);
   EXPECT_NE(with_fix.find("suggestion:"), std::string::npos);
+  // --fix-suggestions also prints the exact annotation line to paste.
+  EXPECT_NE(with_fix.find("annotation: // pythia-lint: allow(wall-clock)"),
+            std::string::npos);
 }
 
 }  // namespace

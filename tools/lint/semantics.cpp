@@ -1,0 +1,642 @@
+#include "semantics.hpp"
+
+#include <algorithm>
+
+namespace pythia::lint {
+
+namespace {
+
+[[nodiscard]] const Token* tok_at(const std::vector<Token>& t, std::size_t i) {
+  return i < t.size() ? &t[i] : nullptr;
+}
+
+[[nodiscard]] bool is_ident(const Token* t, const char* text) {
+  return t != nullptr && t->kind == TokKind::kIdentifier && t->text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token* t, const char* text) {
+  return t != nullptr && t->kind == TokKind::kPunct && t->text == text;
+}
+
+// Skips a balanced run starting at t[i] == open. Returns the index one past
+// the matching close (or t.size() on imbalance — malformed input degrades to
+// "rest of file skipped", never a crash).
+[[nodiscard]] std::size_t skip_balanced(const std::vector<Token>& t,
+                                        std::size_t i, const char* open,
+                                        const char* close) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (is_punct(&t[i], open)) ++depth;
+    if (is_punct(&t[i], close) && --depth == 0) return i + 1;
+  }
+  return t.size();
+}
+
+// Conservative template-argument skip for declaration contexts: t[i] == '<'.
+// Returns the index one past the matching '>' only if it closes before a
+// ';', '{' or '}' at paren depth 0 (otherwise the '<' was a comparison and
+// the caller should treat it as an ordinary operator: returns i + 1).
+[[nodiscard]] std::size_t try_skip_template(const std::vector<Token>& t,
+                                            std::size_t i) {
+  int angle = 0;
+  int paren = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    const Token& tk = t[j];
+    if (tk.kind != TokKind::kPunct) continue;
+    if (tk.text == "(" || tk.text == "[") ++paren;
+    if (tk.text == ")" || tk.text == "]") --paren;
+    if (paren != 0) continue;
+    if (tk.text == ";" || tk.text == "{" || tk.text == "}") return i + 1;
+    if (tk.text == "<") ++angle;
+    if (tk.text == ">" && --angle == 0) return j + 1;
+    if (tk.text == ">>" && (angle -= 2) <= 0) return j + 1;
+  }
+  return i + 1;
+}
+
+// Normalizes a put_*/get_* suffix to the wire width it moves. bool rides u8;
+// i64/f64/time/duration all ride u64. Unknown suffixes return "".
+[[nodiscard]] std::string stream_width(const std::string& suffix) {
+  if (suffix == "u8" || suffix == "bool") return "8";
+  if (suffix == "u32") return "32";
+  if (suffix == "u64" || suffix == "i64" || suffix == "f64" ||
+      suffix == "time" || suffix == "duration") {
+    return "64";
+  }
+  if (suffix == "string") return "str";
+  return "";
+}
+
+[[nodiscard]] bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Function names whose bodies feed the semantic model.
+[[nodiscard]] bool is_codec_function(const std::string& name) {
+  return starts_with(name, "encode_") || starts_with(name, "decode_") ||
+         name == "serialize" || name == "deserialize";
+}
+
+class Parser {
+ public:
+  Parser(const std::string& path, const std::vector<Token>& code,
+         const std::set<std::string>& extra_functions, SemanticModel& model)
+      : path_(path), t_(code), extra_(extra_functions), model_(model) {}
+
+  void run() { scan_region(0, t_.size(), /*in_class=*/false, ""); }
+
+ private:
+  // Collects body identifiers and stream calls for an interesting function.
+  // `i` points at the opening '{'; returns the index one past the body.
+  std::size_t index_function_body(std::size_t i, const std::string& owner,
+                                  const Token& name_tok) {
+    FunctionBody fb;
+    fb.owner = owner;
+    fb.name = name_tok.text;
+    fb.file = path_;
+    fb.line = name_tok.line;
+    fb.col = name_tok.col;
+    const std::size_t end = skip_balanced(t_, i, "{", "}");
+    for (std::size_t j = i; j < end && j < t_.size(); ++j) {
+      if (t_[j].kind != TokKind::kIdentifier) continue;
+      fb.idents.insert(t_[j].text);
+      const std::string& id = t_[j].text;
+      const bool put = starts_with(id, "put_");
+      const bool get = starts_with(id, "get_");
+      if ((put || get) && is_punct(tok_at(t_, j + 1), "(")) {
+        const std::string width = stream_width(id.substr(4));
+        if (!width.empty()) {
+          fb.calls.push_back(StreamCall{width, put, t_[j].line, t_[j].col});
+        }
+      }
+    }
+    model_.functions.push_back(std::move(fb));
+    return end;
+  }
+
+  // From t_[i] (one past a ')' of a function declarator), scans the
+  // const/noexcept/override/trailing-return tail. Returns the index of the
+  // opening '{' of a definition, or the index of the terminating ';'/'='
+  // for a plain declaration, or t_.size().
+  [[nodiscard]] std::size_t find_function_body(std::size_t i) const {
+    for (; i < t_.size(); ++i) {
+      const Token& tk = t_[i];
+      if (is_punct(&tk, "{")) return i;
+      if (is_punct(&tk, ";") || is_punct(&tk, "=")) return i;
+      if (is_punct(&tk, "(")) {  // noexcept(...)
+        i = skip_balanced(t_, i, "(", ")") - 1;
+        continue;
+      }
+      if (is_punct(&tk, "<")) {
+        i = try_skip_template(t_, i) - 1;
+        continue;
+      }
+      // const, noexcept, override, final, ->, type tokens of a trailing
+      // return, :: — all fine to walk over.
+    }
+    return t_.size();
+  }
+
+  [[nodiscard]] bool is_interesting_function(const std::string& name) const {
+    return is_codec_function(name) || extra_.count(name) > 0;
+  }
+
+  TypeTable& type_entry(const Token& name_tok) {
+    TypeTable& tt = model_.types[name_tok.text];
+    if (tt.name.empty()) {
+      tt.name = name_tok.text;
+      tt.file = path_;
+      tt.line = name_tok.line;
+    }
+    return tt;
+  }
+
+  // t_[i] is the class/struct/union keyword. Parses the definition if one
+  // follows (braced body); returns the index one past it, or past the ';'
+  // of a forward declaration. `members_of` receives the name of the defined
+  // type so a trailing declarator (`struct X {...} x_;`) can be attributed.
+  std::size_t parse_class(std::size_t i, std::string* defined_name) {
+    std::size_t j = i + 1;
+    while (is_punct(tok_at(t_, j), "[")) j = skip_balanced(t_, j, "[", "]");
+    const Token* name = tok_at(t_, j);
+    const bool named = name != nullptr && name->kind == TokKind::kIdentifier;
+    if (named) ++j;
+    // Walk to the body '{' or a ';' (forward declaration / member of
+    // elaborated type). Base-clause commas/colons and template args are
+    // skipped structurally.
+    while (j < t_.size()) {
+      const Token& tk = t_[j];
+      if (is_punct(&tk, "{")) break;
+      if (is_punct(&tk, ";") || is_punct(&tk, ")") || is_punct(&tk, ">") ||
+          is_punct(&tk, ",") || is_punct(&tk, "=")) {
+        // `struct X;`, or an elaborated type in a parameter/template/member
+        // position (`const struct X& p`): no definition here.
+        return j;
+      }
+      if (is_punct(&tk, "<")) {
+        j = try_skip_template(t_, j);
+        continue;
+      }
+      if (is_punct(&tk, "(")) {
+        j = skip_balanced(t_, j, "(", ")");
+        continue;
+      }
+      ++j;
+    }
+    if (j >= t_.size()) return t_.size();
+    const std::size_t body_end = skip_balanced(t_, j, "{", "}");
+    if (named) {
+      if (defined_name != nullptr) *defined_name = name->text;
+      type_entry(*name);
+      scan_region(j + 1, body_end - 1, /*in_class=*/true, name->text);
+    }
+    return body_end;
+  }
+
+  // Walks [begin, end). At file scope (in_class == false) it looks for type
+  // definitions and out-of-line interesting function definitions; inside a
+  // class body it additionally records data members of `owner`.
+  void scan_region(std::size_t begin, std::size_t end, bool in_class,
+                   const std::string& owner) {
+    std::size_t i = begin;
+    while (i < end && i < t_.size()) {
+      const Token& tk = t_[i];
+
+      if (is_punct(&tk, ";")) {
+        ++i;
+        continue;
+      }
+      if (in_class &&
+          (is_ident(&tk, "public") || is_ident(&tk, "private") ||
+           is_ident(&tk, "protected")) &&
+          is_punct(tok_at(t_, i + 1), ":")) {
+        i += 2;
+        continue;
+      }
+      if (is_ident(&tk, "enum")) {
+        // enum [class] X [: T] { ... } ;  — nothing inside is a data member.
+        while (i < end && !is_punct(&t_[i], "{") && !is_punct(&t_[i], ";")) {
+          ++i;
+        }
+        if (i < end && is_punct(&t_[i], "{")) {
+          i = skip_balanced(t_, i, "{", "}");
+        }
+        continue;
+      }
+      if (is_ident(&tk, "using") || is_ident(&tk, "typedef") ||
+          is_ident(&tk, "friend") || is_ident(&tk, "static_assert")) {
+        while (i < end && !is_punct(&t_[i], ";")) {
+          if (is_punct(&t_[i], "{")) {
+            i = skip_balanced(t_, i, "{", "}");
+            continue;
+          }
+          ++i;
+        }
+        continue;
+      }
+      if (is_ident(&tk, "template")) {
+        ++i;
+        if (is_punct(tok_at(t_, i), "<")) i = try_skip_template(t_, i);
+        continue;
+      }
+      if (is_ident(&tk, "namespace") || is_ident(&tk, "extern")) {
+        // namespace N { ... } / extern "C" { ... }: recurse transparently.
+        while (i < end && !is_punct(&t_[i], "{") && !is_punct(&t_[i], ";")) {
+          ++i;
+        }
+        if (i < end && is_punct(&t_[i], "{")) {
+          const std::size_t body_end = skip_balanced(t_, i, "{", "}");
+          scan_region(i + 1, body_end - 1, in_class, owner);
+          i = body_end;
+        }
+        continue;
+      }
+      if (is_ident(&tk, "class") || is_ident(&tk, "struct") ||
+          is_ident(&tk, "union")) {
+        std::string defined;
+        std::size_t after = parse_class(i, &defined);
+        // `struct X { ... } x_;` — the declarator names a member/variable.
+        if (in_class && !defined.empty()) {
+          while (after < end && t_[after].kind == TokKind::kIdentifier) {
+            record_member(owner, t_[after], {defined}, false, false);
+            ++after;
+            if (is_punct(tok_at(t_, after), ",")) ++after;
+          }
+        }
+        while (after < end && !is_punct(&t_[after], ";")) ++after;
+        i = after < end ? after + 1 : after;
+        continue;
+      }
+
+      // A generic statement: either a member/variable declaration or a
+      // function declaration/definition.
+      const std::size_t next = parse_statement(i, end, in_class, owner);
+      // Guarantee progress: a stray '}' (or any bookkeeping mismatch in
+      // malformed input) must never stall the scan.
+      i = next > i ? next : i + 1;
+    }
+  }
+
+  void record_member(const std::string& owner, const Token& name_tok,
+                     std::vector<std::string> type_idents, bool is_static,
+                     bool is_mutable) {
+    if (owner.empty()) return;
+    TypeTable& tt = model_.types[owner];
+    if (tt.name.empty()) {
+      tt.name = owner;
+      tt.file = path_;
+      tt.line = name_tok.line;
+    }
+    MemberDecl m;
+    m.name = name_tok.text;
+    m.file = path_;
+    m.line = name_tok.line;
+    m.col = name_tok.col;
+    m.is_static = is_static;
+    m.is_mutable = is_mutable;
+    m.type_idents = std::move(type_idents);
+    // Re-parses of the same header (multiple TUs in one run never happen —
+    // each file is lexed once — but the same type can be opened twice via
+    // ifdef branches); keep the first sighting of a name.
+    for (const MemberDecl& existing : tt.members) {
+      if (existing.name == m.name) return;
+    }
+    tt.members.push_back(std::move(m));
+  }
+
+  // Parses one declaration-or-definition statement starting at t_[i].
+  // Returns the index one past it.
+  std::size_t parse_statement(std::size_t i, std::size_t end, bool in_class,
+                              const std::string& owner) {
+    bool is_static = false;
+    bool is_mutable = false;
+    // Leading specifiers.
+    while (i < end) {
+      const Token& tk = t_[i];
+      if (is_ident(&tk, "static") || is_ident(&tk, "constexpr") ||
+          is_ident(&tk, "constinit")) {
+        is_static = true;
+        ++i;
+        continue;
+      }
+      if (is_ident(&tk, "mutable")) {
+        is_mutable = true;
+        ++i;
+        continue;
+      }
+      if (is_ident(&tk, "inline") || is_ident(&tk, "virtual") ||
+          is_ident(&tk, "explicit") || is_ident(&tk, "thread_local")) {
+        ++i;
+        continue;
+      }
+      if (is_punct(&tk, "[") && is_punct(tok_at(t_, i + 1), "[")) {
+        i = skip_balanced(t_, i, "[", "]");  // [[nodiscard]] etc.
+        continue;
+      }
+      break;
+    }
+
+    // Identifiers stream through `pending`: the newest one is always the
+    // declarator-name candidate; every identifier it displaces was part of
+    // the declared type (drives R8 reachability).
+    std::vector<std::string> type_idents;
+    const Token* pending = nullptr;  // candidate declarator name
+    bool seen_paren = false;         // a top-level '(': function-ish
+
+    auto flush_member = [&](const Token* name_tok) {
+      if (name_tok == nullptr || seen_paren || !in_class) return;
+      if (name_tok->text == "operator") return;  // operator= and friends
+      record_member(owner, *name_tok, type_idents, is_static, is_mutable);
+    };
+
+    auto shift_ident = [&](const Token& tk) {
+      if (pending != nullptr) type_idents.push_back(pending->text);
+      pending = &tk;
+    };
+
+    while (i < end) {
+      const Token& tk = t_[i];
+      if (tk.kind == TokKind::kIdentifier) {
+        shift_ident(tk);
+        if (is_punct(tok_at(t_, i + 1), "<")) {
+          // Type template: keep the argument list's identifiers as type
+          // identifiers too (std::vector<SubConfig> reaches SubConfig).
+          const std::size_t past = try_skip_template(t_, i + 1);
+          for (std::size_t j = i + 2; past > i + 2 && j < past - 1; ++j) {
+            if (t_[j].kind == TokKind::kIdentifier) {
+              type_idents.push_back(t_[j].text);
+            }
+          }
+          i = past;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      if (tk.kind != TokKind::kPunct) {
+        ++i;
+        continue;
+      }
+      if (tk.text == ";") {
+        // `int x;` — the last identifier is the declarator.
+        if (!seen_paren && pending != nullptr && !type_idents.empty()) {
+          flush_member(pending);
+        }
+        return i + 1;
+      }
+      if (tk.text == "(") {
+        if (pending != nullptr && !seen_paren) {
+          seen_paren = true;
+          const Token* fn_name = pending;
+          i = skip_balanced(t_, i, "(", ")");
+          const std::size_t at = find_function_body(i);
+          if (at < t_.size() && is_punct(&t_[at], "{")) {
+            std::string fowner = owner;
+            // Out-of-line definition: Type::name(...)
+            if (!in_class) {
+              fowner.clear();
+              const std::size_t ni = static_cast<std::size_t>(fn_name - &t_[0]);
+              if (ni >= 2 && is_punct(&t_[ni - 1], "::") &&
+                  t_[ni - 2].kind == TokKind::kIdentifier) {
+                fowner = t_[ni - 2].text;
+              }
+            }
+            if (is_interesting_function(fn_name->text)) {
+              return index_function_body(at, fowner, *fn_name);
+            }
+            return skip_balanced(t_, at, "{", "}");
+          }
+          if (at < t_.size() && is_punct(&t_[at], "=")) {
+            // = 0 / = default / = delete; runs to the ';'.
+            i = at;
+            continue;
+          }
+          if (at < t_.size() && is_punct(&t_[at], ";")) return at + 1;
+          return t_.size();
+        }
+        // Parenthesized initializer or operator call in an initializer.
+        i = skip_balanced(t_, i, "(", ")");
+        continue;
+      }
+      if (tk.text == "{") {
+        if (!seen_paren && pending != nullptr) {
+          // Brace initializer: `util::SimTime t_{-1};`
+          flush_member(pending);
+          i = skip_balanced(t_, i, "{", "}");
+          pending = nullptr;
+          continue;
+        }
+        // Stray block (static initializer lambdas, etc.): skip it.
+        i = skip_balanced(t_, i, "{", "}");
+        continue;
+      }
+      if (tk.text == "=") {
+        if (pending != nullptr && !seen_paren) flush_member(pending);
+        // Skip the initializer to the ',' or ';' at depth 0.
+        ++i;
+        int depth = 0;
+        while (i < end) {
+          const Token& it = t_[i];
+          if (it.kind == TokKind::kPunct) {
+            if (it.text == "(" || it.text == "{" || it.text == "[") ++depth;
+            if (it.text == ")" || it.text == "}" || it.text == "]") --depth;
+            if (depth == 0 && it.text == ";") return i + 1;
+            if (depth == 0 && it.text == ",") break;
+          }
+          ++i;
+        }
+        pending = nullptr;
+        ++i;
+        continue;
+      }
+      if (tk.text == ",") {
+        if (pending != nullptr && !seen_paren) flush_member(pending);
+        pending = nullptr;
+        ++i;
+        continue;
+      }
+      if (tk.text == "[") {
+        if (is_punct(tok_at(t_, i + 1), "[")) {
+          i = skip_balanced(t_, i, "[", "]");  // attribute
+          continue;
+        }
+        // Array declarator: `int a[4];` — the name precedes the bracket.
+        if (pending != nullptr && !seen_paren) {
+          flush_member(pending);
+          pending = nullptr;
+        }
+        i = skip_balanced(t_, i, "[", "]");
+        continue;
+      }
+      if (tk.text == "}") {
+        // Region bookkeeping error (malformed input): stop the statement.
+        return i;
+      }
+      ++i;  // *, &, ::, <, >, ... — structure-neutral here
+    }
+    return end;
+  }
+
+  const std::string& path_;
+  const std::vector<Token>& t_;
+  const std::set<std::string>& extra_;
+  SemanticModel& model_;
+};
+
+// The encode bodies whose identifier references count as R6 coverage.
+[[nodiscard]] bool counts_for_snapshot_coverage(const std::string& name) {
+  return name == "encode_state" || name == "encode_behavior" ||
+         name == "encode_counters";
+}
+
+[[nodiscard]] std::string decode_counterpart(const std::string& name) {
+  if (name == "deserialize") return "serialize";
+  if (starts_with(name, "decode_")) return "encode_" + name.substr(7);
+  return "";
+}
+
+}  // namespace
+
+void parse_semantics(const std::string& path, const std::vector<Token>& code,
+                     const std::set<std::string>& extra_functions,
+                     SemanticModel& model) {
+  Parser(path, code, extra_functions, model).run();
+}
+
+void check_snapshot_coverage(const SemanticModel& model,
+                             std::vector<Finding>& out) {
+  for (const auto& [type_name, tt] : model.types) {
+    std::set<std::string> covered;
+    bool has_encode_state = false;
+    for (const FunctionBody& fb : model.functions) {
+      if (fb.owner != type_name || !counts_for_snapshot_coverage(fb.name)) {
+        continue;
+      }
+      if (fb.name == "encode_state") has_encode_state = true;
+      covered.insert(fb.idents.begin(), fb.idents.end());
+    }
+    if (!has_encode_state) continue;
+
+    for (const MemberDecl& m : tt.members) {
+      if (m.is_static || covered.count(m.name) > 0) continue;
+      out.push_back(Finding{
+          m.file, m.line, m.col, kRuleSnapshotSkip,
+          "data member '" + m.name + "' of '" + type_name +
+              "' is never referenced in its encode_state/encode_behavior/"
+              "encode_counters body; a restore would silently lose it",
+          "serialize the member in " + type_name +
+              "::encode_state (bump Snapshot::kFormatVersion if the layout "
+              "changes), or — if it is a derived cache, scratch arena, or "
+              "wiring — annotate the declaration: // pythia-lint: "
+              "allow(snapshot-skip) <why restore rebuilds it>"});
+    }
+  }
+}
+
+void check_stream_symmetry(const SemanticModel& model,
+                           std::vector<Finding>& out) {
+  for (const FunctionBody& dec : model.functions) {
+    const std::string counterpart = decode_counterpart(dec.name);
+    if (counterpart.empty()) continue;
+    const FunctionBody* enc = nullptr;
+    for (const FunctionBody& fb : model.functions) {
+      if (fb.name == counterpart && fb.owner == dec.owner) {
+        enc = &fb;
+        break;
+      }
+    }
+    if (enc == nullptr) continue;
+
+    std::vector<const StreamCall*> puts;
+    for (const StreamCall& c : enc->calls) {
+      if (c.is_put) puts.push_back(&c);
+    }
+    std::vector<const StreamCall*> gets;
+    for (const StreamCall& c : dec.calls) {
+      if (!c.is_put) gets.push_back(&c);
+    }
+    if (puts.empty() && gets.empty()) continue;
+
+    const std::size_t n = std::min(puts.size(), gets.size());
+    std::size_t k = 0;
+    while (k < n && puts[k]->kind == gets[k]->kind) ++k;
+    if (k == puts.size() && k == gets.size()) continue;
+
+    const std::string where = (dec.owner.empty() ? "" : dec.owner + "::");
+    std::string msg;
+    if (k < n) {
+      msg = "decode stream of " + where + dec.name + " reads a " +
+            gets[k]->kind + "-bit value at position " + std::to_string(k + 1) +
+            " where " + where + counterpart + " writes " + puts[k]->kind +
+            (puts[k]->kind == "str" ? "" : "-bit") +
+            "; every later field decodes corrupt";
+    } else {
+      msg = "decode stream of " + where + dec.name + " reads " +
+            std::to_string(gets.size()) + " values but " + where +
+            counterpart + " writes " + std::to_string(puts.size()) +
+            "; the streams drift apart at position " + std::to_string(k + 1);
+    }
+    out.push_back(Finding{
+        dec.file, dec.line, dec.col, kRuleStreamSymmetry, msg,
+        "make the get_* sequence mirror the put_* sequence (width and "
+        "order); if the asymmetry is deliberate framing, annotate the "
+        "definition: // pythia-lint: allow(stream-symmetry) <why>"});
+  }
+}
+
+void check_fingerprint_coverage(const SemanticModel& model, const Config& cfg,
+                                std::vector<Finding>& out) {
+  if (cfg.fingerprint_roots.empty() || cfg.fingerprint_functions.empty()) {
+    return;
+  }
+  std::set<std::string> fns(cfg.fingerprint_functions.begin(),
+                            cfg.fingerprint_functions.end());
+  std::set<std::string> covered;
+  bool any_fn = false;
+  for (const FunctionBody& fb : model.functions) {
+    if (fns.count(fb.name) == 0) continue;
+    any_fn = true;
+    covered.insert(fb.idents.begin(), fb.idents.end());
+  }
+  if (!any_fn) return;  // snippet-sized run without the fingerprint code
+
+  // Reachability over declared-type identifiers, starting from the roots.
+  std::set<std::string> reachable;
+  std::vector<std::string> frontier;
+  for (const std::string& r : cfg.fingerprint_roots) {
+    if (model.types.count(r) > 0 && reachable.insert(r).second) {
+      frontier.push_back(r);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::string name = frontier.back();
+    frontier.pop_back();
+    const TypeTable& tt = model.types.at(name);
+    for (const MemberDecl& m : tt.members) {
+      for (const std::string& ti : m.type_idents) {
+        if (model.types.count(ti) > 0 && reachable.insert(ti).second) {
+          frontier.push_back(ti);
+        }
+      }
+    }
+  }
+
+  for (const std::string& name : reachable) {
+    const TypeTable& tt = model.types.at(name);
+    for (const MemberDecl& m : tt.members) {
+      if (m.is_static || covered.count(m.name) > 0) continue;
+      out.push_back(Finding{
+          m.file, m.line, m.col, kRuleFingerprintSkip,
+          "config member '" + m.name + "' of '" + name +
+              "' (reachable from a fingerprint root) never enters the "
+              "scenario fingerprint; two runs differing only in it would "
+              "share a fingerprint and cross-restore silently",
+          "encode the member in the fingerprint computation "
+          "(src/experiments/checkpoint.cpp), or — if it is derived from "
+          "fingerprinted state — annotate the declaration: // pythia-lint: "
+          "allow(fingerprint-skip) <why it cannot diverge independently>"});
+    }
+  }
+}
+
+}  // namespace pythia::lint

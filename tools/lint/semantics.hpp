@@ -1,0 +1,121 @@
+// Semantic state-coverage analysis for pythia-lint (rules R6-R8).
+//
+// The token rules in analyzer.cpp catch nondeterminism *patterns*; this layer
+// proves a structural property of the checkpoint subsystem: every piece of
+// logical state is covered by the snapshot/fingerprint contract. It is a
+// two-pass design over the already-lexed token streams:
+//
+//   Pass 1 (parse_semantics) parses class/struct definitions in the snapshot
+//   scope into per-type member tables — name, declared-type identifiers,
+//   static/mutable flags, declaration site — reusing the lexer's tokens. It
+//   also indexes the bodies of every encode_*/decode_*/serialize/deserialize
+//   function (plus the configured fingerprint functions): the identifiers
+//   they reference and the ordered sequence of StateEncoder::put_* /
+//   StateDecoder::get_* calls they make.
+//
+//   Pass 2 runs the rules over the model:
+//     R6 snapshot-skip     — every non-static data member of a type that
+//                            defines encode_state must be referenced in that
+//                            type's encode_state/encode_behavior/
+//                            encode_counters bodies, or carry an annotated
+//                            allow(snapshot-skip).
+//     R7 stream-symmetry   — the ordered put_* kind sequence of an encode
+//                            body must match the get_* kinds of its paired
+//                            decode body (encode_X <-> decode_X,
+//                            serialize <-> deserialize), width-normalized,
+//                            catching order/width drift that corrupts every
+//                            later field.
+//     R8 fingerprint-skip  — every member of a config struct reachable from
+//                            the configured root types must appear in the
+//                            configured fingerprint-function bodies, or
+//                            carry an annotated allow(fingerprint-skip).
+//
+// Like the token rules, everything here is a one-sided heuristic: coverage
+// is "the member's identifier appears in the relevant body", which
+// over-approximates real serialization (a mention in a comment-adjacent
+// expression counts) but can never rot silently — deleting the encode line
+// for a member turns the tree red until the member is re-encoded or the skip
+// is justified in writing.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "config.hpp"
+#include "lexer.hpp"
+
+namespace pythia::lint {
+
+/// One parsed non-function class member.
+struct MemberDecl {
+  std::string name;
+  std::string file;
+  int line = 0;
+  int col = 0;
+  bool is_static = false;   // static or constexpr: not instance state
+  bool is_mutable = false;
+  /// Identifier tokens of the declared type (before the declarator name);
+  /// drives config-struct reachability for R8.
+  std::vector<std::string> type_idents;
+};
+
+/// Member table for one class/struct (keyed by unqualified name; same-named
+/// types merge, which is the usual one-sided trade: a false merge can only
+/// widen coverage checks, never hide a member).
+struct TypeTable {
+  std::string name;
+  std::string file;  // file of the first definition seen
+  int line = 0;
+  std::vector<MemberDecl> members;
+};
+
+/// One put_*/get_* call inside an indexed function body.
+struct StreamCall {
+  std::string kind;  // width-normalized: "8", "32", "64", "str"
+  bool is_put = false;
+  int line = 0;
+  int col = 0;
+};
+
+/// An indexed function definition (encode/decode/serialize/fingerprint).
+struct FunctionBody {
+  std::string owner;  // unqualified class name; empty for free functions
+  std::string name;
+  std::string file;
+  int line = 0;  // line of the function name token in the definition
+  int col = 0;
+  std::set<std::string> idents;     // every identifier referenced in the body
+  std::vector<StreamCall> calls;    // ordered stream codec calls
+};
+
+struct SemanticModel {
+  std::map<std::string, TypeTable> types;
+  std::vector<FunctionBody> functions;
+};
+
+/// Pass 1 for one file: parses type definitions and indexes interesting
+/// function bodies from `code` (the comment/preproc-stripped token stream).
+/// `extra_functions` are additionally indexed by exact name (the configured
+/// fingerprint functions). Never fails; unparseable constructs are skipped.
+void parse_semantics(const std::string& path, const std::vector<Token>& code,
+                     const std::set<std::string>& extra_functions,
+                     SemanticModel& model);
+
+/// R6: snapshot field coverage.
+void check_snapshot_coverage(const SemanticModel& model,
+                             std::vector<Finding>& out);
+
+/// R7: encode/decode stream symmetry.
+void check_stream_symmetry(const SemanticModel& model,
+                           std::vector<Finding>& out);
+
+/// R8: fingerprint coverage over config structs reachable from `cfg`'s
+/// fingerprint roots. Inert when no root type or fingerprint function is
+/// present in the model (so snippet-sized analyses don't mass-fire).
+void check_fingerprint_coverage(const SemanticModel& model, const Config& cfg,
+                                std::vector<Finding>& out);
+
+}  // namespace pythia::lint
